@@ -1,0 +1,96 @@
+// Command jiscd runs a continuous multi-way join query as a network
+// daemon: producers FEED tuples over TCP, consumers SUBSCRIBE to
+// results, and an operator (or an external optimizer) MIGRATEs the
+// live plan — under JISC, without halting the query.
+//
+// Usage:
+//
+//	jiscd -addr :7878 -plan 0,1,2 -window 10000 -strategy jisc
+//
+// Protocol (one line per command; [query] defaults to "default"):
+//
+//	FEED [query] <stream> <key>
+//	MIGRATE [query] <plan>          e.g. MIGRATE ((0 2) 1)  or  MIGRATE 0,2,1
+//	SUBSCRIBE [query]
+//	CREATE <query> <window> <plan>
+//	DROP <query> | LIST
+//	STATS [query] | PLAN [query] | CHECKPOINT [query] <path> | QUIT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"jisc/internal/core"
+	"jisc/internal/engine"
+	"jisc/internal/migrate"
+	"jisc/internal/pipeline"
+	"jisc/internal/plan"
+	"jisc/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7878", "listen address")
+		planSrc  = flag.String("plan", "0,1,2", "initial plan (infix tree or comma-separated left-deep order)")
+		window   = flag.Int("window", 10000, "per-stream window size in tuples")
+		timeSpan = flag.Uint64("timespan", 0, "time-based window span in ticks (0 = count-based)")
+		strat    = flag.String("strategy", "jisc", "migration strategy: jisc, moving-state, static")
+		queue    = flag.Int("queue", 4096, "input queue size")
+		shedding = flag.Bool("shed", false, "drop tuples instead of blocking when the queue is full")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "jiscd: %v\n", err)
+		os.Exit(1)
+	}
+
+	p, err := plan.Parse(*planSrc)
+	if err != nil {
+		die(err)
+	}
+	var strategy engine.Strategy
+	switch *strat {
+	case "jisc":
+		strategy = core.New()
+	case "moving-state":
+		strategy = migrate.MovingState{}
+	case "static":
+		strategy = engine.Static{}
+	default:
+		die(fmt.Errorf("unknown strategy %q", *strat))
+	}
+	overflow := pipeline.Block
+	if *shedding {
+		overflow = pipeline.Shed
+	}
+
+	srv, err := server.New(server.Config{Pipeline: pipeline.Config{
+		Engine: engine.Config{
+			Plan:       p,
+			WindowSize: *window,
+			TimeSpan:   *timeSpan,
+			Strategy:   strategy,
+		},
+		QueueSize: *queue,
+		Overflow:  overflow,
+	}})
+	if err != nil {
+		die(err)
+	}
+	if err := srv.Listen(*addr); err != nil {
+		die(err)
+	}
+	fmt.Printf("jiscd: serving %s on %s (strategy %s, window %d)\n",
+		p, srv.Addr(), *strat, *window)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("jiscd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,93 @@
+// Command planviz renders query plans and transition diffs: given an
+// old and a new left-deep join order, it prints both trees and
+// classifies each state of the new plan as complete or incomplete per
+// Definition 1 — the classification that decides how much work a JISC
+// transition needs.
+//
+// Usage:
+//
+//	planviz -old 0,1,2,3 -new 0,1,3,2
+//	planviz -old 0,1,2,3,4 -swap 1,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jisc/internal/analysis"
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+)
+
+func parseOrder(s string) ([]tuple.StreamID, error) {
+	parts := strings.Split(s, ",")
+	out := make([]tuple.StreamID, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 || v >= tuple.MaxStreams {
+			return nil, fmt.Errorf("bad stream id %q", p)
+		}
+		out = append(out, tuple.StreamID(v))
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		oldOrder = flag.String("old", "0,1,2,3", "old plan: comma-separated left-deep stream order")
+		newOrder = flag.String("new", "", "new plan: comma-separated left-deep stream order")
+		swap     = flag.String("swap", "", "alternative to -new: two 0-based positions to exchange, e.g. 1,3")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "planviz: %v\n", err)
+		os.Exit(1)
+	}
+
+	oo, err := parseOrder(*oldOrder)
+	if err != nil {
+		die(err)
+	}
+	old, err := plan.LeftDeep(oo...)
+	if err != nil {
+		die(err)
+	}
+
+	var neu *plan.Plan
+	switch {
+	case *newOrder != "":
+		no, err := parseOrder(*newOrder)
+		if err != nil {
+			die(err)
+		}
+		if neu, err = plan.LeftDeep(no...); err != nil {
+			die(err)
+		}
+	case *swap != "":
+		pos, err := parseOrder(*swap)
+		if err != nil || len(pos) != 2 {
+			die(fmt.Errorf("-swap wants two positions, got %q", *swap))
+		}
+		if neu, err = old.Swap(int(pos[0]), int(pos[1])); err != nil {
+			die(err)
+		}
+	default:
+		fmt.Printf("plan %s\n\n%s", old, old.Render())
+		return
+	}
+
+	fmt.Printf("old plan: %s\n%s\n", old, old.Render())
+	fmt.Printf("new plan: %s\n%s\n", neu, neu.Render())
+
+	diff := plan.Diff(plan.AllComplete(old), neu)
+	fmt.Printf("state classification (Definition 1):\n%s\n", plan.Describe(diff, neu))
+	inc := plan.IncompleteCount(diff, neu)
+	n := neu.Joins()
+	fmt.Printf("incomplete states: %d of %d joins (C_n = %d)\n", inc, n, n-inc)
+	fmt.Printf("E[C_n] under the §5.2 swap model: %.2f (Var %.2f)\n",
+		analysis.MeanCn(n), analysis.VarCn(n))
+}

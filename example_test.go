@@ -1,0 +1,66 @@
+package jisc_test
+
+import (
+	"fmt"
+
+	"jisc"
+)
+
+// The basic lifecycle: declare a plan, feed tuples, migrate live.
+func ExampleNewQuery() {
+	q, err := jisc.NewQuery(jisc.QueryConfig{
+		Plan:       jisc.LeftDeep(0, 1, 2),
+		WindowSize: 1000,
+		Strategy:   jisc.JISC,
+		Output: func(d jisc.Delta) {
+			fmt.Printf("match: %s\n", d.Tuple.Fingerprint())
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	q.Feed(jisc.Event{Stream: 0, Key: 42})
+	q.Feed(jisc.Event{Stream: 1, Key: 42})
+	q.Feed(jisc.Event{Stream: 2, Key: 42})
+
+	// Migrate the running query — no halt, no lost results.
+	if err := q.Migrate(jisc.LeftDeep(1, 2, 0)); err != nil {
+		panic(err)
+	}
+	q.Feed(jisc.Event{Stream: 0, Key: 42})
+	fmt.Printf("transitions: %d\n", q.Metrics().Transitions)
+	// Output:
+	// match: 0#1|1#1|2#1
+	// match: 0#2|1#1|2#1
+	// transitions: 1
+}
+
+// Streaming set-difference with retractions (§4.7 of the paper).
+func ExampleNewSetDiffQuery() {
+	q, err := jisc.NewSetDiffQuery(jisc.QueryConfig{
+		Plan:       jisc.LeftDeep(0, 1), // stream 0 minus stream 1
+		WindowSize: 100,
+		Output: func(d jisc.Delta) {
+			if d.Retraction {
+				fmt.Printf("retract %d\n", d.Tuple.Key)
+			} else {
+				fmt.Printf("pass %d\n", d.Tuple.Key)
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	q.Feed(jisc.Event{Stream: 0, Key: 7}) // passes
+	q.Feed(jisc.Event{Stream: 1, Key: 7}) // vetoes it
+	// Output:
+	// pass 7
+	// retract 7
+}
+
+// Plans round-trip through their textual form.
+func ExampleLeftDeep() {
+	p := jisc.LeftDeep(2, 0, 1)
+	fmt.Println(p)
+	// Output: ((2⋈0)⋈1)
+}

@@ -1,0 +1,91 @@
+// Compliance: a streaming set-difference pipeline (§4.7 of the
+// paper). An exchange emits orders; three control streams — cancels,
+// blocked accounts, and fraud flags — each veto matching orders. The
+// continuous query
+//
+//	orders − cancels − blocked − flagged
+//
+// streams every clean order, retracting results when a veto arrives
+// later and re-emitting them when the veto's window expires. Mid-run
+// the pipeline migrates to check the currently busiest veto stream
+// first, using JISC: the reordered chain's states complete lazily.
+//
+// Run with:
+//
+//	go run ./examples/compliance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"jisc"
+)
+
+const (
+	orders  jisc.StreamID = 0
+	cancels jisc.StreamID = 1
+	blocked jisc.StreamID = 2
+	flagged jisc.StreamID = 3
+)
+
+func main() {
+	clean := map[string]bool{} // currently clean orders by provenance
+	var adds, retractions int
+	q, err := jisc.NewSetDiffQuery(jisc.QueryConfig{
+		Plan:       jisc.LeftDeep(orders, cancels, blocked, flagged),
+		WindowSize: 500,
+		Strategy:   jisc.JISC,
+		Output: func(d jisc.Delta) {
+			if d.Retraction {
+				retractions++
+				delete(clean, d.Tuple.Fingerprint())
+				return
+			}
+			adds++
+			clean[d.Tuple.Fingerprint()] = true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	feed := func(n int, cancelRate, blockRate, flagRate int) {
+		for i := 0; i < n; i++ {
+			id := jisc.Value(rng.Intn(400))
+			q.Feed(jisc.Event{Stream: orders, Key: id})
+			if rng.Intn(100) < cancelRate {
+				q.Feed(jisc.Event{Stream: cancels, Key: jisc.Value(rng.Intn(400))})
+			}
+			if rng.Intn(100) < blockRate {
+				q.Feed(jisc.Event{Stream: blocked, Key: jisc.Value(rng.Intn(400))})
+			}
+			if rng.Intn(100) < flagRate {
+				q.Feed(jisc.Event{Stream: flagged, Key: jisc.Value(rng.Intn(400))})
+			}
+		}
+	}
+
+	// Phase 1: cancels dominate.
+	feed(4000, 40, 5, 5)
+	fmt.Printf("phase 1: %d clean orders live, %d emitted, %d retracted\n",
+		len(clean), adds, retractions)
+
+	// Fraud wave: reorder so the fraud stream filters first. The
+	// running query migrates without halting; reordered diff states
+	// complete on demand.
+	if err := q.Migrate(jisc.LeftDeep(orders, flagged, cancels, blocked)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-planned to %s\n", q.Plan())
+
+	// Phase 2: fraud flags dominate.
+	feed(4000, 5, 5, 40)
+	m := q.Metrics()
+	fmt.Printf("phase 2: %d clean orders live, %d emitted, %d retracted\n",
+		len(clean), adds, retractions)
+	fmt.Printf("inputs=%d transitions=%d lazy completions=%d\n",
+		m.Input, m.Transitions, m.Completions)
+}

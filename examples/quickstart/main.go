@@ -1,0 +1,64 @@
+// Quickstart: a three-way windowed stream join that switches its
+// execution plan mid-flight without halting.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jisc"
+)
+
+func main() {
+	// Streams: 0 = orders, 1 = payments, 2 = shipments, joined on a
+	// shared order ID. The initial plan joins orders with payments
+	// first: ((orders ⋈ payments) ⋈ shipments).
+	var results int
+	q, err := jisc.NewQuery(jisc.QueryConfig{
+		Plan:       jisc.LeftDeep(0, 1, 2),
+		WindowSize: 1000,
+		Strategy:   jisc.JISC,
+		Output: func(d jisc.Delta) {
+			results++
+			if results <= 3 {
+				fmt.Printf("matched order %d: %s\n", d.Tuple.Key, d.Tuple.Fingerprint())
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed some correlated traffic.
+	for id := jisc.Value(1); id <= 500; id++ {
+		q.Feed(jisc.Event{Stream: 0, Key: id})
+		q.Feed(jisc.Event{Stream: 1, Key: id})
+		if id%2 == 0 {
+			q.Feed(jisc.Event{Stream: 2, Key: id})
+		}
+	}
+	fmt.Printf("results before transition: %d\n", results)
+
+	// The optimizer decides payments should join shipments first.
+	// JISC migrates the running query lazily: no halt, no lost or
+	// duplicated results, missing state computed only when probed.
+	if err := q.Migrate(jisc.LeftDeep(1, 2, 0)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated to %s\n", q.Plan())
+
+	for id := jisc.Value(501); id <= 1000; id++ {
+		q.Feed(jisc.Event{Stream: 2, Key: id})
+		q.Feed(jisc.Event{Stream: 1, Key: id})
+		q.Feed(jisc.Event{Stream: 0, Key: id})
+	}
+
+	m := q.Metrics()
+	fmt.Printf("results after transition: %d\n", results)
+	fmt.Printf("tuples=%d outputs=%d transitions=%d on-demand completions=%d (entries %d)\n",
+		m.Input, m.Output, m.Transitions, m.Completions, m.CompletedEntries)
+}

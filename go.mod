@@ -1,0 +1,3 @@
+module jisc
+
+go 1.22

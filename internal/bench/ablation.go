@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"jisc/internal/core"
+	"jisc/internal/eddy"
+	"jisc/internal/engine"
+)
+
+// StairsRow is one point of the §4.6 ablation: eager STAIRs
+// (Promote/Demote at transition time) vs lazy JISC-on-STAIRs, under
+// periodic worst-case routing changes inside the eddy framework.
+type StairsRow struct {
+	Period       int
+	Eager        time.Duration
+	Lazy         time.Duration
+	EagerLatency time.Duration // max transition-to-first-output
+	LazyLatency  time.Duration
+}
+
+// StairsAblation compares eager STAIRs with JISC-on-STAIRs (§4.6).
+func StairsAblation(cfg Config, joins int, periods []int, w io.Writer) ([]StairsRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	streams := joins + 1
+	fprintf(w, "STAIRs ablation (§4.6) — eager Promote/Demote vs JISC-on-STAIRs, %d joins\n", joins)
+	fprintf(w, "%10s %12s %12s %9s %14s %14s\n",
+		"period", "eager", "lazy", "eager/lazy", "eager-latency", "lazy-latency")
+	var rows []StairsRow
+	for _, period := range periods {
+		run := func(lazy bool) (time.Duration, time.Duration, error) {
+			s := eddy.MustNewStairs(eddy.StairsConfig{
+				Plan: initialPlan(streams), WindowSize: cfg.Window, Lazy: lazy,
+			})
+			src := cfg.source(streams)
+			cur := initialPlan(streams)
+			start := time.Now()
+			for i := 0; i < cfg.Tuples; i++ {
+				if i > 0 && i%period == 0 {
+					cur = worstCaseSwap(cur)
+					if err := s.Migrate(cur); err != nil {
+						return 0, 0, err
+					}
+				}
+				s.Feed(src.Next())
+			}
+			elapsed := time.Since(start)
+			var maxLat time.Duration
+			for _, l := range s.Metrics().OutputLatencies {
+				if l > maxLat {
+					maxLat = l
+				}
+			}
+			return elapsed, maxLat, nil
+		}
+		eager, eagerLat, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		lazy, lazyLat, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		row := StairsRow{Period: period, Eager: eager, Lazy: lazy, EagerLatency: eagerLat, LazyLatency: lazyLat}
+		rows = append(rows, row)
+		fprintf(w, "%10d %12v %12v %9.2f %14v %14v\n",
+			row.Period, row.Eager.Round(time.Microsecond), row.Lazy.Round(time.Microsecond),
+			ratio(row.Eager, row.Lazy),
+			row.EagerLatency.Round(time.Microsecond), row.LazyLatency.Round(time.Microsecond))
+	}
+	return rows, nil
+}
+
+// ProcRow is one point of the Procedure 2 vs Procedure 3 ablation: on
+// left-deep plans, the iterative spine completion (Procedure 3) vs
+// the generic recursive completion (Procedure 2) during worst-case
+// migrations.
+type ProcRow struct {
+	Joins int
+	Proc3 time.Duration // left-deep fast path
+	Proc2 time.Duration // generic recursion forced
+}
+
+// ProcedureAblation compares Procedures 2 and 3 on left-deep plans.
+func ProcedureAblation(cfg Config, joinCounts []int, w io.Writer) ([]ProcRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fprintf(w, "Procedure 2 vs 3 ablation — worst-case migration on left-deep plans\n")
+	fprintf(w, "%6s %12s %12s %9s\n", "joins", "Proc3", "Proc2", "P2/P3")
+	var rows []ProcRow
+	for _, joins := range joinCounts {
+		streams := joins + 1
+		run := func(strategy engine.Strategy) (time.Duration, error) {
+			p := initialPlan(streams)
+			e := engine.MustNew(engine.Config{Plan: p, WindowSize: cfg.Window, Strategy: strategy})
+			src := cfg.source(streams)
+			for i := 0; i < streams*cfg.Window; i++ {
+				e.Feed(src.Next())
+			}
+			if err := e.Migrate(worstCaseSwap(p)); err != nil {
+				return 0, err
+			}
+			return timeFeed(e, src.Take(cfg.Tuples)), nil
+		}
+		p3, err := run(core.New())
+		if err != nil {
+			return nil, err
+		}
+		p2, err := run(&core.JISC{DisableLeftDeepFastPath: true})
+		if err != nil {
+			return nil, err
+		}
+		row := ProcRow{Joins: joins, Proc3: p3, Proc2: p2}
+		rows = append(rows, row)
+		fprintf(w, "%6d %12v %12v %9.2f\n",
+			row.Joins, row.Proc3.Round(time.Microsecond), row.Proc2.Round(time.Microsecond),
+			ratio(row.Proc2, row.Proc3))
+	}
+	return rows, nil
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"jisc/internal/core"
+	"jisc/internal/engine"
+	"jisc/internal/migrate"
+	"jisc/internal/tuple"
+)
+
+// LatencyRow is one point of Figure 10: the time from the moment a
+// plan transition is triggered until the first output tuple, for JISC
+// and the Moving State Strategy, at one window size.
+type LatencyRow struct {
+	Window      int
+	JISC        time.Duration
+	MovingState time.Duration
+}
+
+// Figure10Hash reproduces Figure 10a: output latency after a
+// worst-case transition in a QEP of symmetric hash joins, across
+// window sizes.
+func Figure10Hash(cfg Config, joins int, windows []int, w io.Writer) ([]LatencyRow, error) {
+	return figure10(cfg, joins, windows, engine.HashJoin, nil, "Figure 10a (hash joins)", w)
+}
+
+// Figure10NL reproduces Figure 10b: the same experiment over
+// nested-loops joins (general theta joins), where the Moving State
+// Strategy's eager recomputation is quadratic in the window size per
+// operator and its latency explodes.
+func Figure10NL(cfg Config, joins int, windows []int, w io.Writer) ([]LatencyRow, error) {
+	// Band predicate: a real (non-equi) theta join with ~1/16 selectivity.
+	band := func(a, b *tuple.Tuple) bool {
+		d := a.Key%16 - b.Key%16
+		return d == 0
+	}
+	return figure10(cfg, joins, windows, engine.NLJoin, band, "Figure 10b (nested-loops joins)", w)
+}
+
+func figure10(cfg Config, joins int, windows []int, kind engine.Kind, theta func(a, b *tuple.Tuple) bool, title string, w io.Writer) ([]LatencyRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fprintf(w, "%s — output latency after a transition, %d joins\n", title, joins)
+	fprintf(w, "%10s %14s %14s %10s\n", "window", "JISC", "MovingState", "MS/JISC")
+	var rows []LatencyRow
+	for _, win := range windows {
+		row, err := latencyOne(cfg, joins, win, kind, theta)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		fprintf(w, "%10d %14v %14v %10.1f\n",
+			row.Window, row.JISC, row.MovingState,
+			ratio(row.MovingState, row.JISC))
+	}
+	return rows, nil
+}
+
+func latencyOne(cfg Config, joins, win int, kind engine.Kind, theta func(a, b *tuple.Tuple) bool) (LatencyRow, error) {
+	streams := joins + 1
+	measureOnce := func(strategy engine.Strategy) (time.Duration, error) {
+		p := initialPlan(streams)
+		e := engine.MustNew(engine.Config{
+			Plan: p, WindowSize: win, Kind: kind, Theta: theta, Strategy: strategy,
+		})
+		// Scale the key domain with the window so the match rate per
+		// probe stays ≈1 across the sweep; with a fixed domain, small
+		// windows starve of outputs and the measurement degenerates
+		// into waiting for a lucky tuple.
+		wcfg := cfg
+		wcfg.Domain = int64(win)
+		src := wcfg.source(streams)
+		// Fill every window completely so the transition has full
+		// states to migrate.
+		for i := 0; i < streams*win; i++ {
+			e.Feed(src.Next())
+		}
+		if err := e.Migrate(worstCaseSwap(p)); err != nil {
+			return 0, err
+		}
+		// Feed until the first post-transition output appears; the
+		// collector measures transition-to-first-output.
+		for i := 0; i < 4*streams*win; i++ {
+			e.Feed(src.Next())
+			if m := e.Metrics(); len(m.OutputLatencies) > 0 {
+				return m.OutputLatencies[0], nil
+			}
+		}
+		return 0, nil
+	}
+	// Latency is a single short event; repeat and take the median to
+	// damp scheduler noise.
+	measure := func(strategy func() engine.Strategy) (time.Duration, error) {
+		samples := make([]time.Duration, 0, cfg.reps())
+		for r := 0; r < cfg.reps(); r++ {
+			d, err := measureOnce(strategy())
+			if err != nil {
+				return 0, err
+			}
+			samples = append(samples, d)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		return samples[len(samples)/2], nil
+	}
+	jisc, err := measure(func() engine.Strategy { return core.New() })
+	if err != nil {
+		return LatencyRow{}, err
+	}
+	ms, err := measure(func() engine.Strategy { return migrate.MovingState{} })
+	if err != nil {
+		return LatencyRow{}, err
+	}
+	return LatencyRow{Window: win, JISC: jisc, MovingState: ms}, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+
+	"jisc/internal/analysis"
+)
+
+// PropRow is one row of the Propositions 1–3 verification table:
+// exact vs Monte-Carlo moments of C_n (the number of complete states
+// after a random pairwise join exchange) and the measured
+// concentration tail.
+type PropRow struct {
+	N         int
+	MeanExact float64
+	MeanMC    float64
+	MeanAsym  float64
+	VarExact  float64
+	VarMC     float64
+	VarAsym   float64
+	TailMC    float64 // Prob(|C_n/n − 1| > 0.25), sampled
+	TailBound float64 // Chebyshev bound of Proposition 3
+	FracOfN   float64 // E[C_n]/n — tends to 1 (Proposition 3)
+}
+
+// PropositionTable verifies Propositions 1–3 numerically for each n.
+func PropositionTable(ns []int, samples int, seed int64, w io.Writer) []PropRow {
+	rng := rand.New(rand.NewSource(seed))
+	fprintf(w, "Propositions 1–3 — C_n moments: exact vs Monte-Carlo (%d samples), eps=0.25\n", samples)
+	fprintf(w, "%6s %10s %10s %10s %12s %12s %12s %8s %8s %7s\n",
+		"n", "E exact", "E MC", "E asym", "Var exact", "Var MC", "Var asym", "tail", "bound", "E/n")
+	var rows []PropRow
+	for _, n := range ns {
+		meanMC, varMC := analysis.MonteCarlo(rng, n, samples)
+		row := PropRow{
+			N:         n,
+			MeanExact: analysis.MeanCn(n),
+			MeanMC:    meanMC,
+			MeanAsym:  analysis.MeanCnAsymptotic(n),
+			VarExact:  analysis.VarCn(n),
+			VarMC:     varMC,
+			VarAsym:   analysis.VarCnAsymptotic(n),
+			TailMC:    analysis.ConcentrationTail(rng, n, samples, 0.25),
+			TailBound: analysis.ChebyshevBound(n, 0.25),
+		}
+		row.FracOfN = row.MeanExact / float64(n)
+		rows = append(rows, row)
+		fprintf(w, "%6d %10.2f %10.2f %10.2f %12.2f %12.2f %12.2f %8.4f %8.4f %7.4f\n",
+			row.N, row.MeanExact, row.MeanMC, row.MeanAsym,
+			row.VarExact, row.VarMC, row.VarAsym, row.TailMC, row.TailBound, row.FracOfN)
+	}
+	return rows
+}

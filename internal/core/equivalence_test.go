@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"jisc/internal/eddy"
+	"jisc/internal/engine"
+	"jisc/internal/migrate"
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+// The equivalence suite is the empirical counterpart of the paper's
+// Theorems 1–3 (complete, closed, duplicate-free): on randomized
+// workloads with forced — and overlapped — plan transitions, every
+// migration strategy must produce exactly the same output multiset as
+// CACQ, which recomputes results directly from the live windows and
+// therefore serves as the oracle.
+
+// runner adapts each executor to the test harness.
+type runner struct {
+	name    string
+	feed    func(workload.Event)
+	migrate func(*plan.Plan) error
+	outs    map[string]int
+}
+
+func (r *runner) add(t *tuple.Tuple) { r.outs[t.Fingerprint()]++ }
+
+func newRunners(t *testing.T, p *plan.Plan, win int) []*runner {
+	t.Helper()
+	var rs []*runner
+
+	mk := func(name string, strat engine.Strategy) {
+		r := &runner{name: name, outs: map[string]int{}}
+		e := engine.MustNew(engine.Config{
+			Plan: p, WindowSize: win, Strategy: strat,
+			Output: func(d engine.Delta) {
+				if !d.Retraction {
+					r.add(d.Tuple)
+				}
+			},
+		})
+		r.feed = e.Feed
+		r.migrate = e.Migrate
+		rs = append(rs, r)
+	}
+	mk("jisc", New())
+	mk("jisc-proc2", &JISC{DisableLeftDeepFastPath: true})
+	mk("moving-state", migrate.MovingState{})
+
+	{
+		r := &runner{name: "parallel-track", outs: map[string]int{}}
+		pt := migrate.MustNewParallelTrack(migrate.PTConfig{
+			Plan: p, WindowSize: win, CheckEvery: 7,
+			Output: func(d engine.Delta) {
+				if !d.Retraction {
+					r.add(d.Tuple)
+				}
+			},
+		})
+		r.feed = pt.Feed
+		r.migrate = pt.Migrate
+		rs = append(rs, r)
+	}
+	{
+		r := &runner{name: "cacq", outs: map[string]int{}}
+		c := eddy.MustNewCACQ(eddy.CACQConfig{Plan: p, WindowSize: win, Output: r.add})
+		r.feed = c.Feed
+		r.migrate = c.Migrate
+		rs = append(rs, r)
+	}
+	for _, lazy := range []bool{false, true} {
+		name := "stairs"
+		if lazy {
+			name = "stairs-jisc"
+		}
+		r := &runner{name: name, outs: map[string]int{}}
+		s := eddy.MustNewStairs(eddy.StairsConfig{Plan: p, WindowSize: win, Lazy: lazy, Output: r.add})
+		r.feed = s.Feed
+		r.migrate = s.Migrate
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+func diffOutputs(a, b map[string]int) string {
+	var sb strings.Builder
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var sorted []string
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	n := 0
+	for _, k := range sorted {
+		if a[k] != b[k] {
+			fmt.Fprintf(&sb, "  %s: %d vs %d\n", k, a[k], b[k])
+			n++
+			if n > 12 {
+				sb.WriteString("  ...\n")
+				break
+			}
+		}
+	}
+	return sb.String()
+}
+
+// scenario drives all runners through the same events and transitions
+// and asserts identical output multisets.
+func scenario(t *testing.T, seed int64, streams, win, events, transitions int, overlapped bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]tuple.StreamID, streams)
+	for i := range order {
+		order[i] = tuple.StreamID(i)
+	}
+	p := plan.MustLeftDeep(order...)
+	rs := newRunners(t, p, win)
+
+	src := workload.MustNewSource(workload.Config{
+		Streams: streams,
+		Domain:  int64(3 + rng.Intn(8)),
+		Seed:    rng.Int63(),
+	})
+
+	// Pick transition points. Overlapped scenarios cluster them so a
+	// new transition lands while states are still incomplete.
+	points := map[int]bool{}
+	for len(points) < transitions {
+		if overlapped && len(points) > 0 {
+			base := 0
+			for pt := range points {
+				if pt > base {
+					base = pt
+				}
+			}
+			points[base+1+rng.Intn(4)] = true
+		} else {
+			points[1+rng.Intn(events-1)] = true
+		}
+	}
+
+	cur := p
+	for i := 0; i < events; i++ {
+		if points[i] {
+			next, err := cur.Swap(rng.Intn(streams), rng.Intn(streams))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = next
+			for _, r := range rs {
+				if err := r.migrate(cur); err != nil {
+					t.Fatalf("%s: migrate: %v", r.name, err)
+				}
+			}
+		}
+		e := src.Next()
+		for _, r := range rs {
+			r.feed(e)
+		}
+	}
+
+	oracle := rs[0]
+	for _, r := range rs {
+		if r.name == "cacq" {
+			oracle = r
+		}
+	}
+	for _, r := range rs {
+		if r == oracle {
+			continue
+		}
+		if len(r.outs) != len(oracle.outs) || diffOutputs(oracle.outs, r.outs) != "" {
+			t.Errorf("%s diverges from oracle (seed %d):\n%s", r.name, seed, diffOutputs(oracle.outs, r.outs))
+		}
+	}
+}
+
+func TestEquivalenceSingleTransition(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		scenario(t, seed, 3+int(seed%3), 8, 300, 1, false)
+	}
+}
+
+func TestEquivalenceMultipleTransitions(t *testing.T) {
+	for seed := int64(100); seed < 106; seed++ {
+		scenario(t, seed, 4, 10, 400, 4, false)
+	}
+}
+
+func TestEquivalenceOverlappedTransitions(t *testing.T) {
+	for seed := int64(200); seed < 206; seed++ {
+		scenario(t, seed, 5, 12, 350, 5, true)
+	}
+}
+
+func TestEquivalenceTinyWindows(t *testing.T) {
+	// Windows of 3 force constant eviction through incomplete states.
+	for seed := int64(300); seed < 306; seed++ {
+		scenario(t, seed, 4, 3, 300, 3, false)
+	}
+}
+
+func TestEquivalenceManyStreams(t *testing.T) {
+	scenario(t, 400, 7, 6, 500, 3, false)
+	scenario(t, 401, 7, 6, 500, 4, true)
+}
+
+// Bushy-plan equivalence: only the engine strategies support bushy
+// plans, so compare JISC against Moving State with a bushy target.
+func TestEquivalenceBushy(t *testing.T) {
+	for seed := int64(500); seed < 505; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := plan.MustLeftDeep(0, 1, 2, 3)
+		bushy := plan.MustNew(plan.Join(
+			plan.Join(plan.Leaf(0), plan.Leaf(2)),
+			plan.Join(plan.Leaf(1), plan.Leaf(3)),
+		))
+		bushy2 := plan.MustNew(plan.Join(
+			plan.Join(plan.Leaf(3), plan.Leaf(0)),
+			plan.Join(plan.Leaf(2), plan.Leaf(1)),
+		))
+		plans := []*plan.Plan{bushy, bushy2, plan.MustLeftDeep(2, 3, 0, 1)}
+
+		outs := map[string]map[string]int{}
+		for _, strat := range []engine.Strategy{New(), migrate.MovingState{}} {
+			outs[strat.Name()] = map[string]int{}
+			dst := outs[strat.Name()]
+			e := engine.MustNew(engine.Config{
+				Plan: p, WindowSize: 6, Strategy: strat,
+				Output: func(d engine.Delta) { dst[d.Tuple.Fingerprint()]++ },
+			})
+			src := workload.MustNewSource(workload.Config{Streams: 4, Domain: 5, Seed: seed})
+			rng2 := rand.New(rand.NewSource(seed + 1))
+			pi := 0
+			for i := 0; i < 300; i++ {
+				if i > 0 && i%80 == 0 {
+					if err := e.Migrate(plans[pi%len(plans)]); err != nil {
+						t.Fatal(err)
+					}
+					pi++
+				}
+				e.Feed(src.Next())
+				_ = rng2
+			}
+		}
+		if d := diffOutputs(outs["moving-state"], outs["jisc"]); d != "" {
+			t.Errorf("bushy: jisc diverges from moving-state (seed %d):\n%s", seed, d)
+		}
+		_ = rng
+	}
+}
+
+// FuzzEquivalence drives random workload/transition scenarios through
+// every strategy and requires identical outputs — continuous fuzzing
+// over the same invariant the fixed-seed suite checks.
+func FuzzEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(6), uint8(2))
+	f.Add(int64(99), uint8(5), uint8(3), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, streamsRaw, winRaw, transRaw uint8) {
+		streams := 3 + int(streamsRaw%4)
+		win := 3 + int(winRaw%12)
+		transitions := 1 + int(transRaw%4)
+		scenario(t, seed, streams, win, 150, transitions, seed%2 == 0)
+	})
+}

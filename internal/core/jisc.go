@@ -1,0 +1,294 @@
+// Package core implements Just-In-Time State Completion (JISC), the
+// paper's contribution: a lazy plan-migration strategy for continuous
+// queries. At a plan transition nothing is computed; the new plan's
+// states are classified complete/incomplete per Definition 1 (and the
+// §4.5 overlapped-transition rule), completion-detection counters are
+// armed per §4.3, and missing state entries are computed on demand —
+// one join-attribute value at a time — the first time a probe needs
+// them (Procedures 1–3). The query never halts, so output stays
+// steady (§5.1.1).
+package core
+
+import (
+	"jisc/internal/engine"
+	"jisc/internal/tuple"
+)
+
+// JISC is the lazy migration strategy. The zero value is ready to use
+// with default options; use New for explicit construction.
+type JISC struct {
+	// DisableLeftDeepFastPath forces the generic recursive completion
+	// (Procedure 2) even on left-deep plans, for the Procedure 2 vs 3
+	// ablation. Default false: left-deep plans use the iterative
+	// spine walk of Procedure 3.
+	DisableLeftDeepFastPath bool
+}
+
+// New returns a JISC strategy with default options.
+func New() *JISC { return &JISC{} }
+
+// Name implements engine.Strategy.
+func (c *JISC) Name() string { return "jisc" }
+
+// OnTransition implements engine.Strategy. The engine has already
+// performed the buffer-clearing phase (§4.1), re-attached surviving
+// states (keeping §4.5 completeness), and created the incomplete
+// states. JISC only arms the §4.3 completion counters, bottom-up so
+// Case 1/2 classification sees children first.
+func (c *JISC) OnTransition(e *engine.Engine) error {
+	for _, n := range e.Nodes() {
+		if n.IsLeaf() {
+			continue
+		}
+		if n.St != nil && !n.St.Complete() && !n.St.CounterArmed() {
+			e.ArmCounter(n)
+		}
+	}
+	return nil
+}
+
+// BeforeProbe implements engine.Strategy: when a tuple is about to
+// probe an incomplete state whose entries for the tuple's join
+// attribute value were never computed, complete exactly those entries
+// (Procedure 1 lines 5–6). The per-state attempted set guarantees the
+// §4.4 at-most-once property; the per-stream fresh flag is the paper's
+// O(1) fast path and is only trusted on left-deep plans, where the
+// probing tuple of an incomplete state is always a base tuple (in
+// bushy plans a composite's driving tuple may be attempted even though
+// this state never saw its key).
+func (c *JISC) BeforeProbe(e *engine.Engine, j, opp *engine.Node, t *tuple.Tuple, fresh bool) {
+	switch {
+	case opp.St != nil:
+		if opp.St.Complete() {
+			return
+		}
+		if !fresh && t.IsBase() && !c.DisableLeftDeepFastPath {
+			// Attempted base tuple: an earlier tuple with the same
+			// key from the same stream already drove this exact
+			// probe path since the transition.
+			return
+		}
+		if opp.St.Attempted(t.Key) {
+			return
+		}
+		if !c.DisableLeftDeepFastPath && isLeftSpine(opp) {
+			c.completeKeyLD(e, opp, t.Key)
+		} else {
+			c.completeKey(e, opp, t.Key)
+		}
+	case opp.Ls != nil:
+		if opp.Ls.Complete() || opp.Ls.Attempted(t.Refs[0]) {
+			return
+		}
+		opp.Ls.MarkAttempted(t.Refs[0])
+		c.completeNLState(e, opp)
+	}
+}
+
+// EvictContinue implements engine.Strategy: window-slide removals keep
+// propagating past an incomplete state when the removed key's entries
+// were never materialized there (§4.2), and stop per the standard rule
+// once the entries are guaranteed to exist (§4.4's optimization).
+func (c *JISC) EvictContinue(e *engine.Engine, j *engine.Node, key tuple.Value) bool {
+	if j.St != nil {
+		return !j.St.Complete() && !j.St.Attempted(key)
+	}
+	if j.Ls != nil {
+		return !j.Ls.Complete()
+	}
+	return false
+}
+
+// completeKey is Procedure 2: recursive state completion for bushy
+// plans. It materializes the entries of key at node n by first
+// completing both children for the key, then joining the children's
+// pre-Born entries. Entries whose newest constituent arrived after the
+// state was born are produced by normal processing and must not be
+// regenerated.
+func (c *JISC) completeKey(e *engine.Engine, n *engine.Node, key tuple.Value) {
+	if n.IsLeaf() || n.St.Complete() || n.St.Attempted(key) {
+		return
+	}
+	c.completeKey(e, n.Left, key)
+	c.completeKey(e, n.Right, key)
+	c.joinInto(e, n, key)
+	if n.St.MarkAttempted(key) {
+		e.MarkNodeComplete(n)
+	}
+}
+
+// completeKeyLD is Procedure 3: iterative state completion for
+// left-deep plans. Starting from the highest operator with a complete
+// (or already attempted) state on the left spine below n, it walks
+// upward joining each level's entries with the inner scan's entries,
+// completing every state on the way up to and including n.
+func (c *JISC) completeKeyLD(e *engine.Engine, n *engine.Node, key tuple.Value) {
+	var spine []*engine.Node
+	cur := n
+	for !cur.IsLeaf() && !cur.St.Complete() && !cur.St.Attempted(key) {
+		spine = append(spine, cur)
+		cur = cur.Left
+	}
+	for i := len(spine) - 1; i >= 0; i-- {
+		o := spine[i]
+		c.joinInto(e, o, key)
+		if o.St.MarkAttempted(key) {
+			e.MarkNodeComplete(o)
+		}
+	}
+}
+
+// joinInto materializes the pre-Born entries of key at join node n
+// from its children's states.
+func (c *JISC) joinInto(e *engine.Engine, n *engine.Node, key tuple.Value) {
+	met := e.Collector()
+	met.Completions++
+	born := n.Born
+	left := n.Left.St.Probe(key)
+	right := n.Right.St.Probe(key)
+	for _, l := range left {
+		if l.Arrival > born {
+			continue
+		}
+		for _, r := range right {
+			if r.Arrival > born {
+				continue
+			}
+			n.St.Insert(tuple.Join(l, r))
+			met.CompletedEntries++
+		}
+	}
+}
+
+// isLeftSpine reports whether the subtree under n is a left-deep
+// chain (every right descendant a leaf), the shape Procedure 3
+// requires.
+func isLeftSpine(n *engine.Node) bool {
+	for !n.IsLeaf() {
+		if !n.Right.IsLeaf() {
+			return false
+		}
+		n = n.Left
+	}
+	return true
+}
+
+// completeNLState completes a nested-loops state in full (recursively
+// completing its children first). Nested-loops states have no join-key
+// granularity to complete at, so JISC amortizes by completing a state
+// the first time any probe needs it rather than all states at
+// transition time. In hybrid plans (§2.1) a nested-loops node may have
+// hash-join children; those are completed in full too.
+func (c *JISC) completeNLState(e *engine.Engine, n *engine.Node) {
+	if n.IsLeaf() || n.Ls.Complete() {
+		return
+	}
+	c.completeChildFull(e, n.Left)
+	c.completeChildFull(e, n.Right)
+	met := e.Collector()
+	met.Completions++
+	born := n.Born
+	pred := e.Theta()
+	n.Left.EachEntry(func(l *tuple.Tuple) bool {
+		if l.Arrival > born {
+			return true
+		}
+		n.Right.EachEntry(func(r *tuple.Tuple) bool {
+			if r.Arrival > born {
+				return true
+			}
+			if pred(l, r) {
+				n.Ls.Insert(tuple.JoinTheta(l, r))
+				met.CompletedEntries++
+			}
+			return true
+		})
+		return true
+	})
+	e.MarkNodeComplete(n)
+}
+
+// completeChildFull brings a child's whole state up to date, whatever
+// operator backs it — the recursion step a full nested-loops
+// completion needs in hybrid plans.
+func (c *JISC) completeChildFull(e *engine.Engine, n *engine.Node) {
+	switch {
+	case n.IsLeaf():
+	case n.Ls != nil:
+		c.completeNLState(e, n)
+	default:
+		c.completeHashFull(e, n)
+	}
+}
+
+// completeHashFull completes every missing key of a hash-join state —
+// used when a nested-loops parent needs the child's full extent. The
+// per-key work is identical to on-demand completion, just driven over
+// the remaining unattempted keys of the smaller child side.
+func (c *JISC) completeHashFull(e *engine.Engine, n *engine.Node) {
+	if n.St.Complete() {
+		return
+	}
+	c.completeChildFull(e, n.Left)
+	c.completeChildFull(e, n.Right)
+	small, other := n.Left.St, n.Right.St
+	if other.DistinctKeys() < small.DistinctKeys() {
+		small = other
+	}
+	for _, key := range small.Keys() {
+		if n.St.Attempted(key) {
+			continue
+		}
+		c.joinInto(e, n, key)
+		n.St.MarkAttempted(key)
+	}
+	e.MarkNodeComplete(n)
+}
+
+// BeforeDiffEvent implements engine.DiffCompleter: materialize the
+// entries of key at set-difference node j (§4.7), completing the chain
+// below first, deduplicating against entries already inserted by
+// normal post-transition processing, and ignoring the in-flight tuple
+// `exclude` so the books reflect the instant before the triggering
+// event.
+func (c *JISC) BeforeDiffEvent(e *engine.Engine, j *engine.Node, key tuple.Value, exclude tuple.Ref, haveExclude bool) {
+	c.completeDiffKey(e, j, key, exclude, haveExclude)
+}
+
+func (c *JISC) completeDiffKey(e *engine.Engine, j *engine.Node, key tuple.Value, exclude tuple.Ref, haveExclude bool) {
+	if j.IsLeaf() || j.St.Complete() || j.St.Attempted(key) {
+		return
+	}
+	c.completeDiffKey(e, j.Left, key, exclude, haveExclude)
+	met := e.Collector()
+	met.Completions++
+	// Does the inner stream suppress this key (ignoring the excluded
+	// in-flight tuple)?
+	suppressed := false
+	for _, b := range j.Right.St.Probe(key) {
+		if haveExclude && b.Refs[0] == exclude {
+			continue
+		}
+		suppressed = true
+		break
+	}
+	if !suppressed {
+		existing := make(map[tuple.Ref]bool)
+		for _, t := range j.St.Probe(key) {
+			existing[t.Refs[0]] = true
+		}
+		for _, t := range j.Left.St.Probe(key) {
+			if haveExclude && t.Refs[0] == exclude {
+				continue
+			}
+			if existing[t.Refs[0]] {
+				continue
+			}
+			j.St.Insert(t)
+			met.CompletedEntries++
+		}
+	}
+	if j.St.MarkAttempted(key) {
+		e.MarkNodeComplete(j)
+	}
+}

@@ -1,0 +1,65 @@
+package eddy
+
+import (
+	"jisc/internal/tuple"
+)
+
+// Routing selects CACQ's tuple-routing policy.
+type Routing int
+
+const (
+	// FixedOrder routes every tuple along the current plan-derived
+	// order — the configuration the paper's experiments compare JISC
+	// against, where an external optimizer changes the order at a
+	// transition.
+	FixedOrder Routing = iota
+	// Lottery is the eddies' original adaptive policy: each SteM
+	// earns tickets by consuming tuples quickly and returning few
+	// matches (filtering early is good), and the eddy routes each
+	// tuple to the eligible SteM holding the most tickets. The eddy
+	// then adapts without any explicit plan transition — the
+	// "per-tuple plan" flexibility §3.1 describes.
+	Lottery
+)
+
+// lottery tracks per-SteM tickets as an exponentially decayed estimate
+// of the SteM's drop rate (probes that returned nothing).
+type lottery struct {
+	drop map[tuple.StreamID]float64
+}
+
+func newLottery(order []tuple.StreamID) *lottery {
+	l := &lottery{drop: make(map[tuple.StreamID]float64, len(order))}
+	for _, id := range order {
+		l.drop[id] = 0.5 // uninformed prior
+	}
+	return l
+}
+
+// observe folds one probe outcome into the SteM's ticket estimate.
+func (l *lottery) observe(id tuple.StreamID, matches int) {
+	const decay = 1.0 / 64
+	hit := 0.0
+	if matches == 0 {
+		hit = 1.0
+	}
+	l.drop[id] = l.drop[id]*(1-decay) + hit*decay
+}
+
+// next picks the eligible SteM with the highest drop rate: routing to
+// the best filter first minimizes the expected number of intermediate
+// tuples re-entering the eddy.
+func (l *lottery) next(order []tuple.StreamID, done tuple.StreamSet) (tuple.StreamID, bool) {
+	best := tuple.StreamID(0)
+	bestDrop := -1.0
+	found := false
+	for _, id := range order {
+		if done.Has(id) {
+			continue
+		}
+		if d := l.drop[id]; d > bestDrop {
+			best, bestDrop, found = id, d, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"sort"
+
+	"jisc/internal/tuple"
+)
+
+// GroupCount is the unary aggregation operator of §4.7: a per-group
+// (join-key) count maintained on top of a QEP's root. Unary operators
+// have complete states by definition, so a plan transition below never
+// touches the aggregate — connect it as the engine's Output and
+// migrate freely. Retraction deltas (set-difference pipelines, §4.7)
+// decrement their group.
+type GroupCount struct {
+	counts map[tuple.Value]int64
+	total  int64
+	// next chains another consumer, so the aggregate can sit between
+	// the engine and application output.
+	next Output
+}
+
+// NewGroupCount returns an empty aggregate; chain an optional
+// downstream consumer.
+func NewGroupCount(next Output) *GroupCount {
+	return &GroupCount{counts: make(map[tuple.Value]int64), next: next}
+}
+
+// Consume is the Output hook to install on an Engine.
+func (g *GroupCount) Consume(d Delta) {
+	if d.Retraction {
+		g.counts[d.Tuple.Key]--
+		g.total--
+		if g.counts[d.Tuple.Key] == 0 {
+			delete(g.counts, d.Tuple.Key)
+		}
+	} else {
+		g.counts[d.Tuple.Key]++
+		g.total++
+	}
+	if g.next != nil {
+		g.next(d)
+	}
+}
+
+// Count returns the count for one group.
+func (g *GroupCount) Count(key tuple.Value) int64 { return g.counts[key] }
+
+// Total returns the count across all groups.
+func (g *GroupCount) Total() int64 { return g.total }
+
+// Groups returns the number of non-zero groups.
+func (g *GroupCount) Groups() int { return len(g.counts) }
+
+// Top returns the k most frequent groups, counts descending (ties by
+// ascending key, deterministically).
+func (g *GroupCount) Top(k int) []GroupCountEntry {
+	out := make([]GroupCountEntry, 0, len(g.counts))
+	for key, c := range g.counts {
+		out = append(out, GroupCountEntry{Key: key, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// GroupCountEntry is one group in Top's result.
+type GroupCountEntry struct {
+	Key   tuple.Value
+	Count int64
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"testing"
+
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+)
+
+func TestGroupCountBasics(t *testing.T) {
+	g := NewGroupCount(nil)
+	add := func(k tuple.Value) {
+		g.Consume(Delta{Tuple: tuple.NewBase(0, 1, k, 1)})
+	}
+	add(1)
+	add(1)
+	add(2)
+	if g.Count(1) != 2 || g.Count(2) != 1 || g.Total() != 3 || g.Groups() != 2 {
+		t.Fatalf("counts: %d %d total=%d groups=%d", g.Count(1), g.Count(2), g.Total(), g.Groups())
+	}
+	g.Consume(Delta{Tuple: tuple.NewBase(0, 1, 2, 1), Retraction: true})
+	if g.Count(2) != 0 || g.Groups() != 1 || g.Total() != 2 {
+		t.Fatalf("after retraction: count=%d groups=%d total=%d", g.Count(2), g.Groups(), g.Total())
+	}
+}
+
+func TestGroupCountTop(t *testing.T) {
+	g := NewGroupCount(nil)
+	for i := 0; i < 3; i++ {
+		g.Consume(Delta{Tuple: tuple.NewBase(0, 1, 7, 1)})
+	}
+	g.Consume(Delta{Tuple: tuple.NewBase(0, 1, 3, 1)})
+	g.Consume(Delta{Tuple: tuple.NewBase(0, 1, 9, 1)})
+	top := g.Top(2)
+	if len(top) != 2 || top[0].Key != 7 || top[0].Count != 3 {
+		t.Fatalf("Top = %+v", top)
+	}
+	// Deterministic tie-break by key.
+	if top[1].Key != 3 {
+		t.Fatalf("tie-break: %+v", top)
+	}
+	if full := g.Top(10); len(full) != 3 {
+		t.Fatalf("Top(10) = %d entries", len(full))
+	}
+}
+
+func TestGroupCountChains(t *testing.T) {
+	var forwarded int
+	g := NewGroupCount(func(Delta) { forwarded++ })
+	g.Consume(Delta{Tuple: tuple.NewBase(0, 1, 1, 1)})
+	if forwarded != 1 {
+		t.Fatal("downstream consumer not invoked")
+	}
+}
+
+// The aggregate plugs in as an engine Output without perturbing it.
+// (Exact migration-invariance of aggregates — §4.7 — is asserted in
+// the core package, where the JISC strategy is available:
+// TestAggregateUnaffectedByTransition.)
+func TestGroupCountOnEngine(t *testing.T) {
+	g := NewGroupCount(nil)
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: 8, Output: g.Consume,
+	})
+	for i := 0; i < 200; i++ {
+		e.Feed(ev(tuple.StreamID(i%3), tuple.Value(i%5)))
+	}
+	if g.Total() == 0 || g.Groups() > 5 {
+		t.Fatalf("aggregate: total=%d groups=%d", g.Total(), g.Groups())
+	}
+}

@@ -1,0 +1,536 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+func collect(dst *[]Delta) Output {
+	return func(d Delta) { *dst = append(*dst, d) }
+}
+
+func feedAll(e *Engine, evs []workload.Event) {
+	for _, ev := range evs {
+		e.Feed(ev)
+	}
+}
+
+func ev(s tuple.StreamID, k tuple.Value) workload.Event {
+	return workload.Event{Stream: s, Key: k}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := plan.MustLeftDeep(0, 1)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil plan", Config{}},
+		{"negative window", Config{Plan: p, WindowSize: -1}},
+		{"nljoin without theta", Config{Plan: p, Kind: NLJoin}},
+		{"theta without nljoin", Config{Plan: p, Theta: func(a, b *tuple.Tuple) bool { return true }}},
+		{"bushy setdiff", Config{
+			Plan: plan.MustNew(plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Join(plan.Leaf(2), plan.Leaf(3)))),
+			Kind: SetDiff,
+		}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTwoWayJoinBasics(t *testing.T) {
+	var out []Delta
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1), Output: collect(&out)})
+	e.Feed(ev(0, 7))
+	if len(out) != 0 {
+		t.Fatalf("output before any match: %v", out)
+	}
+	e.Feed(ev(1, 7))
+	if len(out) != 1 {
+		t.Fatalf("want 1 result, got %d", len(out))
+	}
+	if fp := out[0].Tuple.Fingerprint(); fp != "0#1|1#1" {
+		t.Errorf("fingerprint = %q", fp)
+	}
+	e.Feed(ev(1, 7)) // second match with the same stored tuple
+	e.Feed(ev(0, 9)) // no match
+	if len(out) != 2 {
+		t.Fatalf("want 2 results, got %d", len(out))
+	}
+}
+
+func TestThreeWayJoinMultiplicity(t *testing.T) {
+	var out []Delta
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2), Output: collect(&out)})
+	// Two tuples on stream 0, one on 1, one on 2, all key 5:
+	// results = 2 × 1 × 1.
+	feedAll(e, []workload.Event{ev(0, 5), ev(0, 5), ev(1, 5), ev(2, 5)})
+	if len(out) != 2 {
+		t.Fatalf("want 2 results, got %d", len(out))
+	}
+}
+
+func TestJoinRespectsWindowEviction(t *testing.T) {
+	var out []Delta
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1), WindowSize: 2, Output: collect(&out)})
+	e.Feed(ev(0, 1))
+	e.Feed(ev(0, 2))
+	e.Feed(ev(0, 3)) // evicts seq 1 (key 1)
+	e.Feed(ev(1, 1)) // key 1 expired: no match
+	if len(out) != 0 {
+		t.Fatalf("expired tuple joined: %v", out)
+	}
+	e.Feed(ev(1, 3))
+	if len(out) != 1 {
+		t.Fatalf("live tuple missed: %d", len(out))
+	}
+}
+
+func TestEvictionPropagatesToJoinStates(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: 2})
+	feedAll(e, []workload.Event{ev(0, 5), ev(1, 5)})
+	join01 := e.NodeBySet(tuple.NewStreamSet(0, 1))
+	if join01.St.Size() != 1 {
+		t.Fatalf("join state size = %d, want 1", join01.St.Size())
+	}
+	// Push two more stream-0 tuples: seq 1 (key 5) leaves the window.
+	feedAll(e, []workload.Event{ev(0, 8), ev(0, 9)})
+	if join01.St.Size() != 0 {
+		t.Fatalf("join state size after eviction = %d, want 0", join01.St.Size())
+	}
+}
+
+func TestRootStateBounded(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1), WindowSize: 4})
+	for i := 0; i < 200; i++ {
+		e.Feed(ev(0, 1))
+		e.Feed(ev(1, 1))
+	}
+	root := e.Root()
+	// Root holds at most window² results for a single hot key.
+	if root.St.Size() > 16 {
+		t.Fatalf("root state grew unbounded: %d", root.St.Size())
+	}
+}
+
+func TestStaticRejectsMigration(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2)})
+	if err := e.Migrate(plan.MustLeftDeep(0, 2, 1)); err == nil {
+		t.Fatal("static engine accepted migration")
+	}
+}
+
+func TestMigrateRejectsDifferentStreams(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2), Strategy: nopStrategy{}})
+	if err := e.Migrate(plan.MustLeftDeep(0, 1, 3)); err == nil {
+		t.Fatal("migration to different stream set accepted")
+	}
+}
+
+// nopStrategy allows transitions but performs no state work, leaving
+// incomplete states incomplete — useful to observe the engine's
+// classification directly.
+type nopStrategy struct{}
+
+func (nopStrategy) Name() string                                          { return "nop" }
+func (nopStrategy) OnTransition(*Engine) error                            { return nil }
+func (nopStrategy) BeforeProbe(*Engine, *Node, *Node, *tuple.Tuple, bool) {}
+func (nopStrategy) EvictContinue(*Engine, *Node, tuple.Value) bool        { return false }
+
+func TestMigrationClassifiesStates(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2, 3), Strategy: nopStrategy{}})
+	feedAll(e, []workload.Event{ev(0, 1), ev(1, 1), ev(2, 1), ev(3, 1)})
+	if err := e.Migrate(plan.MustLeftDeep(0, 1, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// {0,1} existed: complete, content preserved.
+	n01 := e.NodeBySet(tuple.NewStreamSet(0, 1))
+	if !n01.St.Complete() || n01.St.Size() != 1 {
+		t.Errorf("{0,1}: complete=%v size=%d", n01.St.Complete(), n01.St.Size())
+	}
+	// {0,1,3} is new: incomplete and empty.
+	n013 := e.NodeBySet(tuple.NewStreamSet(0, 1, 3))
+	if n013.St.Complete() || n013.St.Size() != 0 {
+		t.Errorf("{0,1,3}: complete=%v size=%d", n013.St.Complete(), n013.St.Size())
+	}
+	// Root {0,1,2,3} existed: complete with the old result.
+	root := e.Root()
+	if !root.St.Complete() || root.St.Size() != 1 {
+		t.Errorf("root: complete=%v size=%d", root.St.Complete(), root.St.Size())
+	}
+	// Old state {0,1,2} must be discarded from the store.
+	if e.NodeBySet(tuple.NewStreamSet(0, 1, 2)) != nil {
+		t.Error("old state {0,1,2} still wired")
+	}
+}
+
+// §4.5: a state surviving two transitions while incomplete must stay
+// incomplete.
+func TestOverlappedTransitionKeepsIncomplete(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2, 3), Strategy: nopStrategy{}})
+	feedAll(e, []workload.Event{ev(0, 1), ev(1, 1), ev(2, 1), ev(3, 1)})
+	if err := e.Migrate(plan.MustLeftDeep(1, 2, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	n12 := e.NodeBySet(tuple.NewStreamSet(1, 2))
+	if n12.St.Complete() {
+		t.Fatal("{1,2} should be incomplete after first transition")
+	}
+	born := n12.Born
+	if err := e.Migrate(plan.MustLeftDeep(1, 2, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	n12b := e.NodeBySet(tuple.NewStreamSet(1, 2))
+	if n12b.St.Complete() {
+		t.Fatal("{1,2} must stay incomplete across overlapped transition")
+	}
+	if n12b.Born != born {
+		t.Fatalf("Born changed across overlapped transition: %d -> %d", born, n12b.Born)
+	}
+}
+
+func TestBufferClearingPhase(t *testing.T) {
+	var out []Delta
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2), Strategy: nopStrategy{}, Output: collect(&out)})
+	// Buffer tuples without processing, then migrate: the §4.1
+	// buffer-clearing phase must process them through the OLD plan.
+	e.Enqueue(ev(0, 3))
+	e.Enqueue(ev(1, 3))
+	e.Enqueue(ev(2, 3))
+	if err := e.Migrate(plan.MustLeftDeep(2, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("buffered tuples not drained through old plan: %d outputs", len(out))
+	}
+	// The old plan's state {0,1} must have been populated during the
+	// drain and then discarded; the new {2,1} state starts incomplete.
+	if n := e.NodeBySet(tuple.NewStreamSet(1, 2)); n.St.Complete() {
+		t.Error("{1,2} should be incomplete")
+	}
+}
+
+func TestFreshnessTracking(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2), Strategy: recordFresh{}})
+	freshLog = nil
+	e.Feed(ev(2, 5))
+	e.Feed(ev(2, 5))
+	if err := e.Migrate(plan.MustLeftDeep(0, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	e.Feed(ev(2, 5)) // first arrival of (2,5) after transition: fresh
+	e.Feed(ev(2, 5)) // attempted
+	e.Feed(ev(2, 6)) // different key: fresh
+	// Note the second pre-transition arrival reports attempted: with
+	// no transition yet the flag is never consulted, so the engine
+	// does not special-case it.
+	want := []bool{true, false, true, false, true}
+	if len(freshLog) != len(want) {
+		t.Fatalf("freshLog = %v", freshLog)
+	}
+	for i := range want {
+		if freshLog[i] != want[i] {
+			t.Fatalf("freshLog[%d] = %v, want %v (%v)", i, freshLog[i], want[i], freshLog)
+		}
+	}
+}
+
+var freshLog []bool
+
+type recordFresh struct{}
+
+func (recordFresh) Name() string               { return "record-fresh" }
+func (recordFresh) OnTransition(*Engine) error { return nil }
+func (recordFresh) BeforeProbe(e *Engine, j, opp *Node, t *tuple.Tuple, fresh bool) {
+	if t.IsBase() {
+		freshLog = append(freshLog, fresh)
+	}
+}
+func (recordFresh) EvictContinue(*Engine, *Node, tuple.Value) bool { return false }
+
+func TestNLJoinBasics(t *testing.T) {
+	var out []Delta
+	// Band theta join: |a.Key - b.Key| <= 1.
+	band := func(a, b *tuple.Tuple) bool {
+		d := a.Key - b.Key
+		return d >= -1 && d <= 1
+	}
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1), Kind: NLJoin, Theta: band,
+		Output: collect(&out),
+	})
+	e.Feed(ev(0, 10))
+	e.Feed(ev(1, 11)) // within band
+	e.Feed(ev(1, 12)) // outside band
+	if len(out) != 1 {
+		t.Fatalf("band join results = %d, want 1", len(out))
+	}
+}
+
+func TestNLJoinPredicateOrientation(t *testing.T) {
+	var out []Delta
+	less := func(a, b *tuple.Tuple) bool { return a.Key < b.Key }
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1), Kind: NLJoin, Theta: less,
+		Output: collect(&out),
+	})
+	e.Feed(ev(0, 1))
+	e.Feed(ev(1, 5)) // probe from right: pred(left=1, right=5) = true
+	if len(out) != 1 {
+		t.Fatalf("results = %d, want 1", len(out))
+	}
+	e.Feed(ev(0, 9)) // probe from left: pred(9, 5) = false
+	if len(out) != 1 {
+		t.Fatalf("orientation violated: %d results", len(out))
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1)})
+	e.Feed(ev(0, 1))
+	e.Feed(ev(1, 1))
+	s := e.Metrics()
+	if s.Input != 2 {
+		t.Errorf("Input = %d", s.Input)
+	}
+	if s.Output != 1 {
+		t.Errorf("Output = %d", s.Output)
+	}
+	if s.Probes == 0 || s.Inserts == 0 {
+		t.Errorf("probes/inserts not counted: %+v", s)
+	}
+}
+
+func TestOutputLatencyMeasured(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	var out []Delta
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1), Strategy: nopStrategy{},
+		Output: collect(&out), Now: now,
+	})
+	e.Feed(ev(0, 1))
+	if err := e.Migrate(plan.MustLeftDeep(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(3 * time.Second)
+	e.Feed(ev(1, 1))
+	lat := e.Metrics().OutputLatencies
+	if len(lat) != 1 || lat[0] != 3*time.Second {
+		t.Fatalf("latencies = %v", lat)
+	}
+}
+
+func TestNodesBottomUp(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2)})
+	nodes := e.Nodes()
+	if len(nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5", len(nodes))
+	}
+	seen := map[tuple.StreamSet]bool{}
+	for _, n := range nodes {
+		if !n.IsLeaf() {
+			if !seen[n.Left.Set] || !seen[n.Right.Set] {
+				t.Fatal("parent visited before children")
+			}
+		}
+		seen[n.Set] = true
+	}
+}
+
+func TestDescribeAndTotalSize(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1)})
+	e.Feed(ev(0, 1))
+	if e.DescribeStates() == "" {
+		t.Error("empty DescribeStates")
+	}
+	if e.TotalStateSize() != 1 {
+		t.Errorf("TotalStateSize = %d, want 1", e.TotalStateSize())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{HashJoin: "hash-join", NLJoin: "nl-join", SetDiff: "set-difference", Kind(9): "Kind(9)"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestFeedUnknownStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown stream")
+		}
+	}()
+	MustNew(Config{Plan: plan.MustLeftDeep(0, 1)}).Feed(ev(5, 1))
+}
+
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1, 2, 3), WindowSize: 1000})
+	src := workload.MustNewSource(workload.Config{Streams: 4, Domain: 10000, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Feed(src.Next())
+	}
+}
+
+func TestObserverReceivesTransitionEvents(t *testing.T) {
+	var events []TransitionEvent
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1, 2, 3), Strategy: nopStrategy{},
+		Observer: func(ev TransitionEvent) { events = append(events, ev) },
+	})
+	feedAll(e, []workload.Event{ev(0, 1), ev(1, 1), ev(2, 1), ev(3, 1)})
+	if err := e.Migrate(plan.MustLeftDeep(0, 1, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	got := events[0]
+	if got.Old != "(((0⋈1)⋈2)⋈3)" || got.New != "(((0⋈1)⋈3)⋈2)" {
+		t.Fatalf("plans: %+v", got)
+	}
+	if got.Incomplete != 1 || got.Complete != 2 {
+		t.Fatalf("classification: %+v", got)
+	}
+	if got.Tick != 4 {
+		t.Fatalf("tick = %d", got.Tick)
+	}
+}
+
+func TestEmitExpiryRevisionStream(t *testing.T) {
+	var out []Delta
+	g := NewGroupCount(nil)
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1), WindowSize: 2, EmitExpiry: true,
+		Output: func(d Delta) { g.Consume(d); out = append(out, d) },
+	})
+	e.Feed(ev(0, 1))
+	e.Feed(ev(1, 1)) // result (0#1,1#1)
+	if g.Total() != 1 {
+		t.Fatalf("live results = %d", g.Total())
+	}
+	// Slide stream 0's window past seq 1: the result is retracted and
+	// the aggregate tracks the live window.
+	e.Feed(ev(0, 8))
+	e.Feed(ev(0, 9))
+	if g.Total() != 0 {
+		t.Fatalf("live results after expiry = %d (out=%v)", g.Total(), out)
+	}
+	retracts := 0
+	for _, d := range out {
+		if d.Retraction {
+			retracts++
+		}
+	}
+	if retracts != 1 {
+		t.Fatalf("retractions = %d", retracts)
+	}
+}
+
+func TestNoExpiryEmissionByDefault(t *testing.T) {
+	var retracts int
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1), WindowSize: 2,
+		Output: func(d Delta) {
+			if d.Retraction {
+				retracts++
+			}
+		},
+	})
+	e.Feed(ev(0, 1))
+	e.Feed(ev(1, 1))
+	e.Feed(ev(0, 8))
+	e.Feed(ev(0, 9))
+	if retracts != 0 {
+		t.Fatalf("unexpected retractions: %d", retracts)
+	}
+}
+
+func TestPerStreamWindowSizes(t *testing.T) {
+	var out []Delta
+	e := MustNew(Config{
+		Plan: plan.MustLeftDeep(0, 1), WindowSize: 100,
+		WindowSizes: map[tuple.StreamID]int{0: 1},
+		Output:      collect(&out),
+	})
+	e.Feed(ev(0, 1))
+	e.Feed(ev(0, 2)) // stream 0's window of 1: key 1 expires
+	e.Feed(ev(1, 1)) // must not match
+	e.Feed(ev(1, 2)) // matches
+	if len(out) != 1 || out[0].Tuple.Key != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if _, err := New(Config{
+		Plan: plan.MustLeftDeep(0, 1), WindowSize: 10,
+		WindowSizes: map[tuple.StreamID]int{1: -4},
+	}); err == nil {
+		t.Fatal("negative per-stream window accepted")
+	}
+}
+
+// A rejected migration must leave the engine fully functional on the
+// OLD plan (the rejection happens before any state is touched).
+func TestStaticRejectionLeavesEngineIntact(t *testing.T) {
+	var out []Delta
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1), Output: collect(&out)})
+	e.Feed(ev(0, 1))
+	if err := e.Migrate(plan.MustLeftDeep(1, 0)); err == nil {
+		t.Fatal("static migration accepted")
+	}
+	e.Feed(ev(1, 1))
+	if len(out) != 1 {
+		t.Fatalf("engine broken after rejected migration: %d outputs", len(out))
+	}
+	if e.Plan().String() != "(0⋈1)" {
+		t.Fatalf("plan changed: %s", e.Plan())
+	}
+	if e.Metrics().Transitions != 0 {
+		t.Fatalf("transition counted despite rejection")
+	}
+}
+
+func TestFeedStampedIdentity(t *testing.T) {
+	var out []Delta
+	a := MustNew(Config{Plan: plan.MustLeftDeep(0, 1), Output: collect(&out)})
+	// Two engines fed the same externally stamped tuples must agree
+	// on identity (the Parallel Track invariant).
+	b := MustNew(Config{Plan: plan.MustLeftDeep(1, 0), Output: collect(&out)})
+	a.FeedStamped(ev(0, 5), 7, 100)
+	b.FeedStamped(ev(0, 5), 7, 100)
+	a.FeedStamped(ev(1, 5), 3, 101)
+	b.FeedStamped(ev(1, 5), 3, 101)
+	if len(out) != 2 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+	if out[0].Tuple.Fingerprint() != out[1].Tuple.Fingerprint() {
+		t.Fatalf("identity mismatch: %s vs %s",
+			out[0].Tuple.Fingerprint(), out[1].Tuple.Fingerprint())
+	}
+	if out[0].Tuple.Fingerprint() != "0#7|1#3" {
+		t.Fatalf("fingerprint = %s", out[0].Tuple.Fingerprint())
+	}
+	if a.Tick() != 101 || a.TransitionTick() != 0 {
+		t.Fatalf("ticks: %d %d", a.Tick(), a.TransitionTick())
+	}
+}
+
+func TestNodeStatsCount(t *testing.T) {
+	e := MustNew(Config{Plan: plan.MustLeftDeep(0, 1)})
+	e.Feed(ev(0, 1))
+	e.Feed(ev(1, 1)) // probes scan 0: 1 probe, 1 match
+	e.Feed(ev(1, 2)) // probes scan 0: 1 probe, 0 matches
+	s0 := e.Scan(0)
+	if s0.Probes != 2 || s0.Matches != 1 {
+		t.Fatalf("scan0 stats: probes=%d matches=%d", s0.Probes, s0.Matches)
+	}
+}

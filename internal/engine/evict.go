@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"jisc/internal/tuple"
+	"jisc/internal/window"
+)
+
+// evict removes an expired base tuple from every state, bottom-up
+// (§2.1). The standard rule stops the walk at the first operator whose
+// state holds no matching entry; strategies may force the walk to
+// continue (JISC does so through incomplete states, §4.2).
+// Set-difference pipelines have different removal semantics and take
+// the setDiffEvict path instead.
+func (e *Engine) evict(scan *Node, exp window.Entry) {
+	if e.cfg.Kind == SetDiff {
+		e.setDiffEvict(scan, exp)
+		return
+	}
+	// Remove the base tuple from the scan state.
+	scan.St.RemoveRef(exp.Key, exp.Ref)
+	e.met.Evictions++
+	e.dropPendingAt(scan, exp.Key)
+
+	for j := scan.Parent; j != nil; j = j.Parent {
+		var removed []*tuple.Tuple
+		if j.St != nil {
+			removed = j.St.RemoveRef(exp.Key, exp.Ref)
+		} else {
+			removed = j.Ls.RemoveRef(exp.Ref)
+		}
+		e.met.Evictions += uint64(len(removed))
+		e.dropPendingAt(j, exp.Key)
+		if j.Parent == nil && e.cfg.EmitExpiry {
+			for _, t := range removed {
+				e.emit(Delta{Tuple: t, Retraction: true})
+			}
+		}
+		if len(removed) == 0 && !e.strategy.EvictContinue(e, j, exp.Key) {
+			return
+		}
+	}
+}
+
+// dropPendingAt handles the §4.3 note that the completion counter is
+// "decremented accordingly" when a window slide removes entries: if
+// node n is the designated counter side of its parent and no tuple
+// with the key remains in n's state, the key will never need
+// completion at the parent, so it leaves the pending set.
+func (e *Engine) dropPendingAt(n *Node, key tuple.Value) {
+	p := n.Parent
+	if p == nil || p.St == nil || p.St.Complete() || p.CounterSide != n {
+		return
+	}
+	if n.St != nil && n.St.ContainsKey(key) {
+		return
+	}
+	if p.St.DropPending(key) {
+		e.MarkNodeComplete(p)
+	}
+}
+
+// MarkNodeComplete declares n's state complete, forgets its birth
+// tick, and notifies the parent (§4.3).
+//
+// Deviation from the paper, recorded in DESIGN.md: the paper resolves
+// Case 3 (both children incomplete, no counter) by declaring the
+// parent complete as soon as both children complete. That rule is
+// unsound: a child can complete through probes at the parent level
+// that never computed the parent's own pre-transition entries for the
+// probed keys, so the parent may still miss entries. Instead, when a
+// child of a counter-less incomplete parent completes, the parent is
+// re-classified from Case 3 to Case 2 and its counter is armed lazily
+// with the complete child's distinct keys (minus keys already
+// attempted); an empty pending set then — and only then — completes
+// the parent.
+func (e *Engine) MarkNodeComplete(n *Node) {
+	if n.St != nil {
+		n.St.MarkComplete()
+	} else if n.Ls != nil {
+		n.Ls.MarkComplete()
+	}
+	n.CounterSide = nil
+	e.ClearBorn(n.Set)
+	p := n.Parent
+	if p == nil || p.St == nil || p.St.Complete() || p.St.CounterArmed() {
+		return
+	}
+	e.ArmCounter(p)
+}
+
+// ArmCounter initializes the §4.3 completion counter of join node j
+// from its children's states: Case 1 (both complete) uses the side
+// with fewer distinct keys, Case 2 (one complete) uses the complete
+// side, Case 3 (neither complete) arms nothing. Keys already attempted
+// at j are excluded; if nothing remains pending, j completes
+// immediately.
+func (e *Engine) ArmCounter(j *Node) {
+	if j.St == nil || j.St.Complete() {
+		return
+	}
+	l, r := j.Left, j.Right
+	lc, rc := childComplete(l), childComplete(r)
+	if j.Kind == SetDiff {
+		// A diff state needs entries for every key of its outer
+		// (left) child — unmatched keys still produce passing
+		// entries — so only the left side can arm the counter.
+		if !lc {
+			return
+		}
+		rc = false
+	}
+	var side *Node
+	switch {
+	case lc && rc:
+		side = l
+		if r.St != nil && l.St != nil && r.St.DistinctKeys() < l.St.DistinctKeys() {
+			side = r
+		}
+	case lc:
+		side = l
+	case rc:
+		side = r
+	default:
+		return // Case 3: detection deferred to child notifications.
+	}
+	if side.St == nil {
+		return // list-state child: no key-based counter possible
+	}
+	keys := side.St.Keys()
+	pending := keys[:0]
+	for _, k := range keys {
+		if !j.St.Attempted(k) {
+			pending = append(pending, k)
+		}
+	}
+	j.CounterSide = side
+	j.St.ArmCounter(pending)
+	if len(pending) == 0 {
+		e.MarkNodeComplete(j)
+	}
+}
+
+func childComplete(n *Node) bool {
+	if n == nil {
+		return true
+	}
+	if n.St != nil {
+		return n.St.Complete()
+	}
+	return n.Ls.Complete()
+}

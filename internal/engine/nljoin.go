@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"jisc/internal/tuple"
+)
+
+// nlJoin processes tuple t at join j under nested-loops semantics: the
+// opposite child's list state is scanned in full and the configured
+// theta predicate decides matches (§2.1). The strategy hook runs first
+// so lazy migration can complete the opposite state for the probing
+// tuple before the scan.
+func (e *Engine) nlJoin(j, from *Node, t *tuple.Tuple, fresh bool) {
+	opp := j.Opposite(from)
+	e.strategy.BeforeProbe(e, j, opp, t, fresh)
+	e.met.Probes++
+	pred := e.cfg.Theta
+	// The probe orientation matters to theta predicates: pred is
+	// defined as pred(left-side tuple, right-side tuple) in plan
+	// order, so flip the arguments when the probing tuple came from
+	// the right child.
+	fromLeft := j.Left == from
+	opp.EachEntry(func(m *tuple.Tuple) bool {
+		e.met.Probes++
+		var hit bool
+		if fromLeft {
+			hit = pred(t, m)
+		} else {
+			hit = pred(m, t)
+		}
+		if hit {
+			out := tuple.JoinTheta(t, m)
+			j.Ls.Insert(out)
+			e.met.Inserts++
+			e.pushUp(j, out, fresh)
+		}
+		return true
+	})
+}

@@ -1,0 +1,128 @@
+// Package metrics collects the performance measures the paper reports:
+// execution time of the migration stage, throughput during normal
+// operation, output latency after a transition, and the bookkeeping
+// counters (probes, completions, duplicate eliminations) used by the
+// ablation benches.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Collector accumulates counters and transition timing for one
+// executor run. The zero value is ready to use.
+type Collector struct {
+	// Input counts tuples fed into the executor.
+	Input uint64
+	// Output counts result tuples emitted at the root.
+	Output uint64
+	// Probes counts hash/list probes performed by join operators.
+	Probes uint64
+	// Inserts counts state insertions.
+	Inserts uint64
+	// Completions counts on-demand state-completion invocations (JISC).
+	Completions uint64
+	// CompletedEntries counts tuples materialized by state completion.
+	CompletedEntries uint64
+	// Evictions counts window-expiry removals applied to states.
+	Evictions uint64
+	// DupDropped counts outputs suppressed by duplicate elimination
+	// (Parallel Track).
+	DupDropped uint64
+	// EddyVisits counts tuple passes through the eddy router (CACQ,
+	// STAIRs).
+	EddyVisits uint64
+	// Transitions counts plan transitions applied.
+	Transitions uint64
+	// MigrationWork counts tuples (re)processed solely because of a
+	// migration strategy (e.g. eager moving-state joins, parallel
+	// track double-processing).
+	MigrationWork uint64
+
+	// transitionAt is the wall-clock instant of the most recent
+	// transition; firstOutputAfter records the latency to the first
+	// root output after it (§6.3).
+	transitionAt     time.Time
+	awaitingOutput   bool
+	OutputLatencies  []time.Duration
+	transitionActive bool
+}
+
+// MarkTransition records that a plan transition was triggered now.
+func (c *Collector) MarkTransition(now time.Time) {
+	c.Transitions++
+	c.transitionAt = now
+	c.awaitingOutput = true
+}
+
+// MarkOutput records a root output at time now; the first one after a
+// transition closes the output-latency measurement.
+func (c *Collector) MarkOutput(now time.Time) {
+	c.Output++
+	if c.awaitingOutput {
+		c.OutputLatencies = append(c.OutputLatencies, now.Sub(c.transitionAt))
+		c.awaitingOutput = false
+	}
+}
+
+// MaxOutputLatency returns the largest recorded transition-to-first-
+// output latency, or zero when none was recorded.
+func (c *Collector) MaxOutputLatency() time.Duration {
+	var m time.Duration
+	for _, d := range c.OutputLatencies {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Snapshot is an immutable copy of the collector for reporting.
+type Snapshot struct {
+	Input, Output, Probes, Inserts           uint64
+	Completions, CompletedEntries, Evictions uint64
+	DupDropped, EddyVisits, Transitions      uint64
+	MigrationWork                            uint64
+	OutputLatencies                          []time.Duration
+}
+
+// Snapshot copies the current counters.
+func (c *Collector) Snapshot() Snapshot {
+	lat := make([]time.Duration, len(c.OutputLatencies))
+	copy(lat, c.OutputLatencies)
+	return Snapshot{
+		Input: c.Input, Output: c.Output, Probes: c.Probes, Inserts: c.Inserts,
+		Completions: c.Completions, CompletedEntries: c.CompletedEntries,
+		Evictions: c.Evictions, DupDropped: c.DupDropped, EddyVisits: c.EddyVisits,
+		Transitions: c.Transitions, MigrationWork: c.MigrationWork,
+		OutputLatencies: lat,
+	}
+}
+
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "in=%d out=%d probes=%d inserts=%d", s.Input, s.Output, s.Probes, s.Inserts)
+	if s.Completions > 0 {
+		fmt.Fprintf(&b, " completions=%d(+%d entries)", s.Completions, s.CompletedEntries)
+	}
+	if s.DupDropped > 0 {
+		fmt.Fprintf(&b, " dup-dropped=%d", s.DupDropped)
+	}
+	if s.EddyVisits > 0 {
+		fmt.Fprintf(&b, " eddy-visits=%d", s.EddyVisits)
+	}
+	if s.Transitions > 0 {
+		fmt.Fprintf(&b, " transitions=%d", s.Transitions)
+	}
+	return b.String()
+}
+
+// Throughput returns tuples per second for n tuples processed in d.
+func Throughput(n uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}

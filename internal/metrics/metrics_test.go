@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOutputLatency(t *testing.T) {
+	var c Collector
+	t0 := time.Unix(0, 0)
+	c.MarkTransition(t0)
+	if c.Transitions != 1 {
+		t.Fatalf("Transitions = %d", c.Transitions)
+	}
+	c.MarkOutput(t0.Add(5 * time.Millisecond))
+	c.MarkOutput(t0.Add(9 * time.Millisecond)) // second output: no new latency sample
+	if len(c.OutputLatencies) != 1 {
+		t.Fatalf("latencies = %v, want one sample", c.OutputLatencies)
+	}
+	if c.OutputLatencies[0] != 5*time.Millisecond {
+		t.Fatalf("latency = %v, want 5ms", c.OutputLatencies[0])
+	}
+	if c.Output != 2 {
+		t.Fatalf("Output = %d, want 2", c.Output)
+	}
+
+	c.MarkTransition(t0.Add(20 * time.Millisecond))
+	c.MarkOutput(t0.Add(120 * time.Millisecond))
+	if got := c.MaxOutputLatency(); got != 100*time.Millisecond {
+		t.Fatalf("MaxOutputLatency = %v, want 100ms", got)
+	}
+}
+
+func TestMaxOutputLatencyEmpty(t *testing.T) {
+	var c Collector
+	if c.MaxOutputLatency() != 0 {
+		t.Fatal("non-zero max latency with no samples")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var c Collector
+	c.Input = 3
+	c.MarkTransition(time.Unix(0, 0))
+	c.MarkOutput(time.Unix(1, 0))
+	s := c.Snapshot()
+	c.Input = 99
+	c.OutputLatencies[0] = 0
+	if s.Input != 3 {
+		t.Fatal("Snapshot shares Input")
+	}
+	if s.OutputLatencies[0] != time.Second {
+		t.Fatal("Snapshot shares latency slice")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSnapshotStringSections(t *testing.T) {
+	s := Snapshot{
+		Input: 1, Output: 2, Completions: 3, CompletedEntries: 4,
+		DupDropped: 5, EddyVisits: 6, Transitions: 7,
+	}
+	str := s.String()
+	for _, want := range []string{"completions=3", "dup-dropped=5", "eddy-visits=6", "transitions=7"} {
+		if !contains(str, want) {
+			t.Errorf("String %q missing %q", str, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if got := Throughput(1000, 0); got != 0 {
+		t.Fatalf("Throughput with zero duration = %f", got)
+	}
+	if got := Throughput(500, 250*time.Millisecond); got != 2000 {
+		t.Fatalf("Throughput = %f, want 2000", got)
+	}
+}

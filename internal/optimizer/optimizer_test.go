@@ -1,0 +1,198 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jisc/internal/core"
+	"jisc/internal/engine"
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{MinImprovement: -1}); err == nil {
+		t.Error("negative MinImprovement accepted")
+	}
+	if _, err := New(Config{Decay: 2}); err == nil {
+		t.Error("Decay > 1 accepted")
+	}
+	if _, err := New(Config{Decay: -0.5}); err == nil {
+		t.Error("negative Decay accepted")
+	}
+	a := MustNew(Config{})
+	if a == nil {
+		t.Fatal("default config rejected")
+	}
+}
+
+func TestCostOf(t *testing.T) {
+	sel := map[tuple.StreamID]float64{0: 1, 1: 0.5, 2: 2, 3: 1}
+	// order 0,1,2,3: prefixes 1*0.5, 1*0.5*2, 1*0.5*2*1 = 0.5+1+1 = 2.5
+	if got := CostOf([]tuple.StreamID{0, 1, 2, 3}, sel); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("cost = %v, want 2.5", got)
+	}
+	// order 0,2,1,3: prefixes 2, 1, 1 = 4
+	if got := CostOf([]tuple.StreamID{0, 2, 1, 3}, sel); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("cost = %v, want 4", got)
+	}
+	// Unknown streams count as selectivity 1.
+	if got := CostOf([]tuple.StreamID{9, 8}, nil); got != 1 {
+		t.Fatalf("cost with nil sel = %v", got)
+	}
+}
+
+func TestBestOrderSortsAscending(t *testing.T) {
+	sel := map[tuple.StreamID]float64{0: 0.9, 1: 0.1, 2: 3, 3: 0.5}
+	got := BestOrder([]tuple.StreamID{0, 1, 2, 3}, sel)
+	want := []tuple.StreamID{1, 3, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BestOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: BestOrder's cost is ≤ the cost of any random permutation.
+func TestBestOrderOptimalProperty(t *testing.T) {
+	f := func(rawSel [6]uint8, perm1, perm2 uint8) bool {
+		streams := []tuple.StreamID{0, 1, 2, 3, 4, 5}
+		sel := map[tuple.StreamID]float64{}
+		for i, r := range rawSel {
+			sel[tuple.StreamID(i)] = float64(r%40)/10 + 0.05
+		}
+		best := BestOrder(streams, sel)
+		bestCost := CostOf(best, sel)
+		// Compare against a couple of derived permutations.
+		alt := append([]tuple.StreamID(nil), streams...)
+		i, j := int(perm1)%6, int(perm2)%6
+		alt[i], alt[j] = alt[j], alt[i]
+		return bestCost <= CostOf(alt, sel)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveSampleSmoothing(t *testing.T) {
+	a := MustNew(Config{Decay: 0.5, MinProbes: 1})
+	a.ObserveSample(0, 100, 100) // sel = 1.0
+	if s, ok := a.Selectivity(0); !ok || s != 1.0 {
+		t.Fatalf("sel = %v %v", s, ok)
+	}
+	a.ObserveSample(0, 200, 100) // window sample 0.0 -> smoothed 0.5
+	if s, _ := a.Selectivity(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("smoothed sel = %v, want 0.5", s)
+	}
+	// Too few new probes: estimate unchanged.
+	a.ObserveSample(0, 200, 100)
+	if s, _ := a.Selectivity(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("estimate moved on zero probes: %v", s)
+	}
+}
+
+func TestProposeHysteresis(t *testing.T) {
+	a := MustNew(Config{MinImprovement: 0.3, Cooldown: 10, MinProbes: 1})
+	cur := plan.MustLeftDeep(0, 1, 2)
+	// No data, cooldown not reached: no proposal.
+	if _, ok := a.Propose(cur); ok {
+		t.Fatal("proposed with no observations")
+	}
+	// Feed strongly inverted selectivities.
+	a.ObserveSample(1, 100, 10)  // sel 0.1
+	a.ObserveSample(2, 100, 400) // sel 4.0
+	a.sinceInput = 100
+	// The expensive stream 2 sits in the middle of the current plan;
+	// moving it last shrinks the first prefix by 40x.
+	cur = plan.MustLeftDeep(0, 2, 1)
+	p, ok := a.Propose(cur)
+	if !ok {
+		t.Fatal("no proposal despite large improvement")
+	}
+	order, _ := p.Order()
+	if order[len(order)-1] != 2 {
+		t.Fatalf("most expensive stream not last: %v", order)
+	}
+	// Cooldown resets after proposal.
+	if _, ok := a.Propose(cur); ok {
+		t.Fatal("proposal during cooldown")
+	}
+}
+
+func TestProposeRejectsSmallImprovement(t *testing.T) {
+	a := MustNew(Config{MinImprovement: 0.5, Cooldown: 0, MinProbes: 1})
+	a.ObserveSample(1, 100, 100) // 1.0
+	a.ObserveSample(2, 100, 110) // 1.1 — tiny difference
+	a.sinceInput = 1
+	if _, ok := a.Propose(plan.MustLeftDeep(0, 2, 1)); ok {
+		t.Fatal("proposed for sub-threshold improvement")
+	}
+}
+
+func TestProposeSkipsBushy(t *testing.T) {
+	a := MustNew(Config{})
+	bushy := plan.MustNew(plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Join(plan.Leaf(2), plan.Leaf(3))))
+	if _, ok := a.Propose(bushy); ok {
+		t.Fatal("advised a bushy plan")
+	}
+}
+
+func TestProposeNoChangeForOptimalPlan(t *testing.T) {
+	a := MustNew(Config{MinImprovement: 0.1, Cooldown: 0, MinProbes: 1})
+	a.ObserveSample(1, 100, 10)
+	a.ObserveSample(2, 100, 400)
+	a.sinceInput = 1
+	// Already optimal order.
+	if _, ok := a.Propose(plan.MustLeftDeep(0, 1, 2)); ok {
+		t.Fatal("proposed a no-op transition")
+	}
+}
+
+// End to end: an engine running a plan with the expensive stream at
+// the bottom; the advisor observes real probe counters and proposes
+// moving the selective stream down, and the engine migrates under
+// JISC to the improved plan.
+func TestAdvisorDrivesEngineMigration(t *testing.T) {
+	// Stream 1 draws from a tiny domain (matches often, expensive);
+	// stream 2 from a large one (selective). Plan starts with the
+	// expensive stream first.
+	src := workload.MustNewSource(workload.Config{
+		Streams: 3, Domain: 8, Seed: 5,
+		Domains: []int64{8, 2, 64},
+	})
+	e := engine.MustNew(engine.Config{
+		Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: 64, Strategy: core.New(),
+	})
+	a := MustNew(Config{MinImprovement: 0.1, Cooldown: 100, MinProbes: 8})
+	migrated := false
+	for i := 0; i < 4000 && !migrated; i++ {
+		e.Feed(src.Next())
+		if i%200 == 0 {
+			a.Observe(e)
+			if p, ok := a.Propose(e.Plan()); ok {
+				if err := e.Migrate(p); err != nil {
+					t.Fatal(err)
+				}
+				migrated = true
+				order, _ := p.Order()
+				// The hot (tiny-domain) stream 1 must move after the
+				// selective stream 2.
+				pos := map[tuple.StreamID]int{}
+				for idx, id := range order {
+					pos[id] = idx
+				}
+				if pos[1] < pos[2] {
+					t.Fatalf("expensive stream not demoted: %v", order)
+				}
+			}
+		}
+	}
+	if !migrated {
+		t.Fatal("advisor never proposed a transition")
+	}
+	if e.Metrics().Transitions != 1 {
+		t.Fatalf("transitions = %d", e.Metrics().Transitions)
+	}
+}

@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"jisc/internal/core"
+	"jisc/internal/engine"
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+func TestPartitionedValidation(t *testing.T) {
+	cfg := Config{Engine: engine.Config{Plan: plan.MustLeftDeep(0, 1)}}
+	if _, err := NewPartitioned(cfg, 0); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, err := NewPartitioned(Config{}, 2); err == nil {
+		t.Error("nil plan accepted")
+	}
+}
+
+// With eviction-free windows, the partitioned run produces exactly the
+// single-engine results: hash partitioning by the join key is lossless
+// for equi-joins. Partitions number tuples locally, so results are
+// compared by join key (each key lives on exactly one partition), not
+// by provenance fingerprint.
+func TestPartitionedMatchesSingleEngine(t *testing.T) {
+	const n = 1200
+	src := workload.MustNewSource(workload.Config{Streams: 3, Domain: 12, Seed: 17})
+	events := src.Take(n)
+
+	single := map[tuple.Value]int{}
+	se := engine.MustNew(engine.Config{
+		Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: n, Strategy: core.New(),
+		Output: func(d engine.Delta) { single[d.Tuple.Key]++ },
+	})
+
+	parts := map[tuple.Value]int{}
+	var mu sync.Mutex
+	pp := MustNewPartitioned(Config{Engine: engine.Config{
+		Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: n, Strategy: core.New(),
+		Output: func(d engine.Delta) {
+			mu.Lock()
+			parts[d.Tuple.Key]++
+			mu.Unlock()
+		},
+	}}, 4)
+	defer pp.Close()
+
+	target := plan.MustLeftDeep(2, 0, 1)
+	for i, ev := range events {
+		if i == n/2 {
+			if err := se.Migrate(target); err != nil {
+				t.Fatal(err)
+			}
+			if err := pp.Migrate(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		se.Feed(ev)
+		if err := pp.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != len(parts) {
+		t.Fatalf("result keys: single %d vs partitioned %d", len(single), len(parts))
+	}
+	for key, c := range single {
+		if parts[key] != c {
+			t.Fatalf("key %d: single %d vs partitioned %d results", key, c, parts[key])
+		}
+	}
+	m, err := pp.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Input != n {
+		t.Fatalf("aggregated Input = %d, want %d", m.Input, n)
+	}
+	if m.Transitions != 1 {
+		t.Fatalf("Transitions = %d", m.Transitions)
+	}
+}
+
+func TestPartitionedKeyAffinity(t *testing.T) {
+	pp := MustNewPartitioned(Config{Engine: engine.Config{
+		Plan: plan.MustLeftDeep(0, 1), WindowSize: 100,
+	}}, 3)
+	defer pp.Close()
+	// Same key must always land on the same partition.
+	a := pp.route(workload.Event{Stream: 0, Key: 42})
+	b := pp.route(workload.Event{Stream: 1, Key: 42})
+	if a != b {
+		t.Fatal("same key routed to different partitions")
+	}
+	if pp.Partitions() != 3 {
+		t.Fatalf("Partitions = %d", pp.Partitions())
+	}
+}
+
+func TestPartitionedConcurrentProducers(t *testing.T) {
+	var outputs int
+	var mu sync.Mutex
+	pp := MustNewPartitioned(Config{
+		Engine: engine.Config{
+			Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: 256, Strategy: core.New(),
+			Output: func(engine.Delta) { mu.Lock(); outputs++; mu.Unlock() },
+		},
+		QueueSize: 64,
+	}, 4)
+	defer pp.Close()
+
+	var wg sync.WaitGroup
+	for s := tuple.StreamID(0); s < 3; s++ {
+		wg.Add(1)
+		go func(s tuple.StreamID) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if err := pp.Feed(workload.Event{Stream: s, Key: tuple.Value(i % 16)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if err := pp.Migrate(plan.MustLeftDeep(1, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := pp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if outputs == 0 {
+		t.Fatal("no outputs under concurrency")
+	}
+}

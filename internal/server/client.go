@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+// Client speaks the jiscd line protocol. A Client is safe for
+// concurrent use; commands are serialized over one connection.
+// Subscribe takes the connection over for streaming — use a dedicated
+// Client for subscriptions.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a jiscd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one command line and reads one response line.
+func (c *Client) roundTrip(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	resp = strings.TrimSpace(resp)
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", fmt.Errorf("server: %s", strings.TrimPrefix(resp, "ERR "))
+	}
+	return resp, nil
+}
+
+// Feed ingests one tuple.
+func (c *Client) Feed(ev workload.Event) error {
+	_, err := c.roundTrip(fmt.Sprintf("FEED %d %d", ev.Stream, ev.Key))
+	return err
+}
+
+// Migrate transitions the server's query to a new plan.
+func (c *Client) Migrate(p *plan.Plan) error {
+	_, err := c.roundTrip("MIGRATE " + p.String())
+	return err
+}
+
+// Plan returns the server's current plan.
+func (c *Client) Plan() (*plan.Plan, error) {
+	resp, err := c.roundTrip("PLAN")
+	if err != nil {
+		return nil, err
+	}
+	return plan.Parse(strings.TrimPrefix(resp, "PLAN "))
+}
+
+// Stats holds the server's one-line counters.
+type Stats struct {
+	Input, Output, Transitions, Completions, Shed uint64
+}
+
+// Stats fetches the default query's counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip("STATS")
+	if err != nil {
+		return Stats{}, err
+	}
+	return parseStats(resp)
+}
+
+func parseStats(resp string) (Stats, error) {
+	var s Stats
+	for _, field := range strings.Fields(strings.TrimPrefix(resp, "STATS ")) {
+		name, val, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return Stats{}, fmt.Errorf("server: bad stats field %q", field)
+		}
+		switch name {
+		case "input":
+			s.Input = n
+		case "output":
+			s.Output = n
+		case "transitions":
+			s.Transitions = n
+		case "completions":
+			s.Completions = n
+		case "shed":
+			s.Shed = n
+		}
+	}
+	return s, nil
+}
+
+// Checkpoint asks the server to write a checkpoint to a server-local
+// path.
+func (c *Client) Checkpoint(path string) error {
+	_, err := c.roundTrip("CHECKPOINT " + path)
+	return err
+}
+
+// Result is one streamed subscription line.
+type Result struct {
+	Key         tuple.Value
+	Fingerprint string
+	Retraction  bool
+}
+
+// Subscribe switches the connection into streaming mode and returns a
+// channel of results. The channel closes when the connection drops or
+// the client is closed. After Subscribe, no other commands may be
+// issued on this client.
+func (c *Client) Subscribe() (<-chan Result, error) {
+	if _, err := c.roundTrip("SUBSCRIBE"); err != nil {
+		return nil, err
+	}
+	out := make(chan Result, 64)
+	go func() {
+		defer close(out)
+		for {
+			line, err := c.r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				continue
+			}
+			key, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				continue
+			}
+			out <- Result{
+				Key:         tuple.Value(key),
+				Fingerprint: fields[2],
+				Retraction:  fields[0] == "RETRACT",
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Raw sends one protocol line and returns the single response line —
+// an escape hatch for commands without a typed wrapper.
+func (c *Client) Raw(line string) (string, error) { return c.roundTrip(line) }
+
+// Create starts a new named query on the server.
+func (c *Client) Create(name string, window int, p *plan.Plan) error {
+	_, err := c.roundTrip(fmt.Sprintf("CREATE %s %d %s", name, window, p))
+	return err
+}
+
+// Drop stops and removes a named query.
+func (c *Client) Drop(name string) error {
+	_, err := c.roundTrip("DROP " + name)
+	return err
+}
+
+// List returns the names of the hosted queries.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.roundTrip("LIST")
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(strings.TrimPrefix(resp, "QUERIES"))
+	return fields, nil
+}
+
+// On addresses subsequent Feed/Migrate/Stats/Plan/Subscribe calls to
+// the named query by returning a scoped view of the same connection.
+func (c *Client) On(name string) *ScopedClient { return &ScopedClient{c: c, name: name} }
+
+// ScopedClient addresses one named query through a shared Client.
+type ScopedClient struct {
+	c    *Client
+	name string
+}
+
+// Feed ingests one tuple into the scoped query.
+func (s *ScopedClient) Feed(ev workload.Event) error {
+	_, err := s.c.roundTrip(fmt.Sprintf("FEED %s %d %d", s.name, ev.Stream, ev.Key))
+	return err
+}
+
+// Migrate transitions the scoped query.
+func (s *ScopedClient) Migrate(p *plan.Plan) error {
+	_, err := s.c.roundTrip(fmt.Sprintf("MIGRATE %s %s", s.name, p))
+	return err
+}
+
+// Stats fetches the scoped query's counters.
+func (s *ScopedClient) Stats() (Stats, error) {
+	resp, err := s.c.roundTrip("STATS " + s.name)
+	if err != nil {
+		return Stats{}, err
+	}
+	return parseStats(resp)
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"jisc/internal/engine"
+	"jisc/internal/pipeline"
+)
+
+// query is one named continuous query hosted by the server: a runner
+// plus its subscriber set.
+type query struct {
+	name   string
+	runner *pipeline.Runner
+
+	mu      sync.Mutex
+	subs    map[int]chan string
+	nextSub int
+	bufSize int
+}
+
+func newQuery(name string, cfg pipeline.Config, bufSize int) (*query, error) {
+	q := &query{name: name, subs: make(map[int]chan string), bufSize: bufSize}
+	cfg.Engine.Output = q.broadcast
+	r, err := pipeline.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	q.runner = r
+	return q, nil
+}
+
+// broadcast fans one result out to the query's subscribers; it runs on
+// the query's worker goroutine and must not block, so stalled
+// subscribers are dropped.
+func (q *query) broadcast(d engine.Delta) {
+	verb := "RESULT"
+	if d.Retraction {
+		verb = "RETRACT"
+	}
+	line := fmt.Sprintf("%s %d %s", verb, d.Tuple.Key, d.Tuple.Fingerprint())
+	q.mu.Lock()
+	for id, ch := range q.subs {
+		select {
+		case ch <- line:
+		default:
+			close(ch)
+			delete(q.subs, id)
+		}
+	}
+	q.mu.Unlock()
+}
+
+func (q *query) subscribe() (int, chan string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	id := q.nextSub
+	q.nextSub++
+	ch := make(chan string, q.bufSize)
+	q.subs[id] = ch
+	return id, ch
+}
+
+func (q *query) unsubscribe(id int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ch, ok := q.subs[id]; ok {
+		close(ch)
+		delete(q.subs, id)
+	}
+}
+
+func (q *query) subscribers() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.subs)
+}
+
+func (q *query) checkpoint(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := q.runner.Checkpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (q *query) close() {
+	q.runner.Close()
+	q.mu.Lock()
+	for id, ch := range q.subs {
+		close(ch)
+		delete(q.subs, id)
+	}
+	q.mu.Unlock()
+}
+
+// DefaultQuery is the name implicit commands address.
+const DefaultQuery = "default"

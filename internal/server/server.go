@@ -1,0 +1,450 @@
+// Package server exposes running continuous queries over a TCP line
+// protocol, so external producers can feed streams and external
+// consumers can subscribe to results — the shape a deployed DSMS node
+// takes. The server hosts any number of named queries (each an
+// AsyncQuery runner); plan transitions arrive as protocol commands and
+// migrate the live queries under the configured strategy (JISC by
+// default: no halt, steady output to subscribers).
+//
+// Protocol (one command per line, ASCII). Commands that omit the query
+// name address the default query:
+//
+//	FEED [query] <stream> <key>      ingest a tuple
+//	MIGRATE [query] <plan>           transition, e.g. MIGRATE ((0 2) 1)
+//	SUBSCRIBE [query]                stream results on this connection
+//	STATS [query]                    one-line counters
+//	PLAN [query]                     current plan
+//	CHECKPOINT [query] <path>        write a checkpoint (server-local)
+//	CREATE <query> <window> <plan>   start a new named query
+//	DROP <query>                     stop and remove a named query
+//	LIST                             names of the hosted queries
+//	QUIT                             close the connection
+//
+// Responses: "OK", "ERR <msg>", "STATS <...>", "PLAN <plan>",
+// "QUERIES <names...>"; streamed results are "RESULT <key>
+// <fingerprint>" and "RETRACT <key> <fingerprint>" lines. Subscribers
+// with stalled connections are disconnected rather than allowed to
+// block a query.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"jisc/internal/core"
+	"jisc/internal/pipeline"
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pipeline configures the default query's runner and serves as
+	// the template for CREATEd queries (strategy, queue size,
+	// overflow policy). Its Engine.Output is owned by the server and
+	// must be nil. Engine.Plan may be nil to start the server with no
+	// default query (CREATE adds queries at runtime).
+	Pipeline pipeline.Config
+	// SubscriberBuffer is the per-subscriber line buffer (default
+	// 1024); a subscriber that falls this far behind is dropped.
+	SubscriberBuffer int
+}
+
+// Server hosts named continuous queries over TCP.
+type Server struct {
+	template pipeline.Config
+	bufSize  int
+	ln       net.Listener
+
+	mu       sync.Mutex
+	queries  map[string]*query
+	conns    map[net.Conn]struct{}
+	closed   bool
+	connWG   sync.WaitGroup
+	acceptWG sync.WaitGroup
+}
+
+// New builds a server and starts the default query (when the config
+// carries a plan). Call Listen to accept connections.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pipeline.Engine.Output != nil {
+		return nil, errors.New("server: Engine.Output is owned by the server")
+	}
+	if cfg.SubscriberBuffer == 0 {
+		cfg.SubscriberBuffer = 1024
+	}
+	if cfg.SubscriberBuffer < 0 {
+		return nil, fmt.Errorf("server: negative subscriber buffer")
+	}
+	s := &Server{
+		template: cfg.Pipeline,
+		bufSize:  cfg.SubscriberBuffer,
+		queries:  make(map[string]*query),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if cfg.Pipeline.Engine.Plan != nil {
+		q, err := newQuery(DefaultQuery, cfg.Pipeline, s.bufSize)
+		if err != nil {
+			return nil, err
+		}
+		s.queries[DefaultQuery] = q
+	}
+	return s, nil
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address after Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Queries returns the hosted query names, sorted.
+func (s *Server) Queries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.queries))
+	for name := range s.queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Subscribers returns the live subscriber count of the named query.
+func (s *Server) Subscribers(name string) int {
+	s.mu.Lock()
+	q := s.queries[name]
+	s.mu.Unlock()
+	if q == nil {
+		return 0
+	}
+	return q.subscribers()
+}
+
+// lookup resolves a query by name.
+func (s *Server) lookup(name string) (*query, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[name]
+	if !ok {
+		return nil, fmt.Errorf("no query %q", name)
+	}
+	return q, nil
+}
+
+// create starts a new named query from the server template.
+func (s *Server) create(name string, windowSize int, p *plan.Plan) error {
+	if name == "" || strings.ContainsAny(name, " \t") {
+		return fmt.Errorf("bad query name %q", name)
+	}
+	cfg := s.template
+	cfg.Engine.Plan = p
+	cfg.Engine.WindowSize = windowSize
+	if cfg.Engine.Strategy == nil {
+		cfg.Engine.Strategy = core.New()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("server closed")
+	}
+	if _, dup := s.queries[name]; dup {
+		return fmt.Errorf("query %q exists", name)
+	}
+	q, err := newQuery(name, cfg, s.bufSize)
+	if err != nil {
+		return err
+	}
+	s.queries[name] = q
+	return nil
+}
+
+// drop stops and removes a named query.
+func (s *Server) drop(name string) error {
+	s.mu.Lock()
+	q, ok := s.queries[name]
+	if ok {
+		delete(s.queries, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no query %q", name)
+	}
+	q.close()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// lockedWriter serializes whole-line writes from the command handler
+// and the subscription streamers onto one connection.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (lw *lockedWriter) writeLine(format string, args ...any) error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if _, err := fmt.Fprintf(lw.w, format+"\n", args...); err != nil {
+		return err
+	}
+	return lw.w.Flush()
+}
+
+// splitQuery interprets the optional leading query name of a command:
+// when the first field names a hosted query, it is consumed; otherwise
+// the default query is addressed.
+func (s *Server) splitQuery(rest string) (*query, string, error) {
+	fields := strings.Fields(rest)
+	if len(fields) > 0 {
+		s.mu.Lock()
+		q, ok := s.queries[fields[0]]
+		s.mu.Unlock()
+		if ok {
+			return q, strings.Join(fields[1:], " "), nil
+		}
+	}
+	q, err := s.lookup(DefaultQuery)
+	if err != nil {
+		return nil, "", fmt.Errorf("no default query; name one of %v", s.Queries())
+	}
+	return q, rest, nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	lw := &lockedWriter{w: bufio.NewWriter(conn)}
+	sc := bufio.NewScanner(conn)
+	// Per-connection subscriptions: at most one per query.
+	type sub struct {
+		q  *query
+		id int
+	}
+	var subs []sub
+	var subWG sync.WaitGroup
+	defer func() {
+		for _, su := range subs {
+			su.q.unsubscribe(su.id)
+		}
+		subWG.Wait()
+	}()
+	respond := func(err error) error {
+		if err != nil {
+			return lw.writeLine("ERR %v", err)
+		}
+		return lw.writeLine("OK")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var werr error
+		verb, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(verb) {
+		case "FEED":
+			q, args, err := s.splitQuery(rest)
+			if err == nil {
+				err = feed(q, args)
+			}
+			werr = respond(err)
+		case "MIGRATE":
+			q, args, err := s.splitQuery(rest)
+			if err == nil {
+				var p *plan.Plan
+				if p, err = plan.Parse(args); err == nil {
+					err = q.runner.Migrate(p)
+				}
+			}
+			werr = respond(err)
+		case "SUBSCRIBE":
+			q, _, err := s.splitQuery(rest)
+			if err != nil {
+				werr = respond(err)
+				break
+			}
+			already := false
+			for _, su := range subs {
+				if su.q == q {
+					already = true
+				}
+			}
+			if already {
+				werr = respond(fmt.Errorf("already subscribed to %q", q.name))
+				break
+			}
+			id, ch := q.subscribe()
+			subs = append(subs, sub{q: q, id: id})
+			werr = respond(nil)
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				for l := range ch {
+					if err := lw.writeLine("%s", l); err != nil {
+						return
+					}
+				}
+			}()
+		case "STATS":
+			q, _, err := s.splitQuery(rest)
+			if err != nil {
+				werr = respond(err)
+				break
+			}
+			m, merr := q.runner.Metrics()
+			if merr != nil {
+				werr = respond(merr)
+				break
+			}
+			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d",
+				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed())
+		case "PLAN":
+			q, _, err := s.splitQuery(rest)
+			if err != nil {
+				werr = respond(err)
+				break
+			}
+			p, perr := q.runner.Plan()
+			if perr != nil {
+				werr = respond(perr)
+				break
+			}
+			werr = lw.writeLine("PLAN %s", p)
+		case "CHECKPOINT":
+			q, args, err := s.splitQuery(rest)
+			if err != nil {
+				werr = respond(err)
+				break
+			}
+			path := strings.TrimSpace(args)
+			if path == "" {
+				werr = respond(fmt.Errorf("CHECKPOINT wants <path>"))
+				break
+			}
+			werr = respond(q.checkpoint(path))
+		case "CREATE":
+			fields := strings.Fields(rest)
+			if len(fields) < 3 {
+				werr = respond(fmt.Errorf("CREATE wants <name> <window> <plan>"))
+				break
+			}
+			win, err := strconv.Atoi(fields[1])
+			if err != nil || win <= 0 {
+				werr = respond(fmt.Errorf("bad window %q", fields[1]))
+				break
+			}
+			p, err := plan.Parse(strings.Join(fields[2:], " "))
+			if err == nil {
+				err = s.create(fields[0], win, p)
+			}
+			werr = respond(err)
+		case "DROP":
+			// Dropping a query this connection subscribes to closes
+			// that subscription channel; its streamer exits cleanly.
+			werr = respond(s.drop(strings.TrimSpace(rest)))
+		case "LIST":
+			werr = lw.writeLine("QUERIES %s", strings.Join(s.Queries(), " "))
+		case "QUIT":
+			lw.writeLine("OK")
+			return
+		default:
+			werr = lw.writeLine("ERR unknown command %q", verb)
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+func feed(q *query, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return fmt.Errorf("FEED wants [query] <stream> <key>")
+	}
+	stream, err := strconv.Atoi(fields[0])
+	if err != nil || stream < 0 || stream >= tuple.MaxStreams {
+		return fmt.Errorf("bad stream %q", fields[0])
+	}
+	key, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad key %q", fields[1])
+	}
+	return q.runner.Feed(workload.Event{
+		Stream: tuple.StreamID(stream),
+		Key:    tuple.Value(key),
+	})
+}
+
+// Close stops accepting, closes every connection, and shuts all
+// queries down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	queries := make([]*query, 0, len(s.queries))
+	for name, q := range s.queries {
+		queries = append(queries, q)
+		delete(s.queries, name)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+		s.acceptWG.Wait()
+	}
+	s.connWG.Wait()
+	for _, q := range queries {
+		q.close()
+	}
+}

@@ -1,0 +1,308 @@
+// Package state implements the join-state storage used by every
+// operator: a hash multimap from join-attribute value to tuples
+// (symmetric hash join), and an ordered list (nested-loops join for
+// general theta joins). Tables carry the completeness metadata that
+// JISC layers on top of ordinary states: the complete/incomplete flag
+// of Definition 1, the per-key attempted set of Definition 2, and the
+// completion-detection counter of §4.3.
+package state
+
+import (
+	"fmt"
+
+	"jisc/internal/tuple"
+)
+
+// Table is a hash multimap from join key to the tuples carrying that
+// key. It is the state of one operator in a pipelined plan: for a scan
+// it holds the stream's window contents, for a join it holds the join
+// results produced (or completed) so far.
+//
+// A Table is not safe for concurrent use; the engine serializes access
+// and the concurrent pipeline confines each table to one goroutine.
+type Table struct {
+	// Set identifies which base streams the stored tuples cover.
+	Set tuple.StreamSet
+
+	buckets map[tuple.Value][]*tuple.Tuple
+	size    int
+
+	// complete is Definition 1's flag. Scan states are always
+	// complete; join states become incomplete at a plan transition
+	// when their stream set did not exist (complete) in the old plan.
+	complete bool
+
+	// attempted records the join-attribute values whose entries have
+	// been computed (or found absent) since the last transition, so a
+	// second tuple with the same value performs no repeated work
+	// (Definition 2 / §4.4). Nil while the table is complete.
+	attempted map[tuple.Value]struct{}
+
+	// remaining implements the §4.3 completion counter: the distinct
+	// keys of the designated (smaller complete) child side that have
+	// not yet been completed here. When it drains, the state is
+	// declared complete. Nil when the counter is not applicable
+	// (Case 3: both children incomplete).
+	remaining map[tuple.Value]struct{}
+
+	// counterArmed distinguishes "no counter" (Case 3) from "counter
+	// drained".
+	counterArmed bool
+}
+
+// NewTable returns an empty, complete table covering set.
+func NewTable(set tuple.StreamSet) *Table {
+	return &Table{
+		Set:      set,
+		buckets:  make(map[tuple.Value][]*tuple.Tuple),
+		complete: true,
+	}
+}
+
+// Complete reports whether the state is complete per Definition 1.
+func (t *Table) Complete() bool { return t.complete }
+
+// MarkIncomplete flags the table incomplete after a plan transition
+// and resets the per-transition attempted set.
+func (t *Table) MarkIncomplete() {
+	t.complete = false
+	t.attempted = make(map[tuple.Value]struct{})
+	t.remaining = nil
+	t.counterArmed = false
+}
+
+// MarkComplete declares the state complete and drops transition-time
+// bookkeeping.
+func (t *Table) MarkComplete() {
+	t.complete = true
+	t.attempted = nil
+	t.remaining = nil
+	t.counterArmed = false
+}
+
+// ArmCounter initializes the §4.3 completion counter with the distinct
+// keys of the designated complete child side (Case 1: the smaller of
+// the two complete children; Case 2: the single complete child).
+func (t *Table) ArmCounter(keys []tuple.Value) {
+	t.remaining = make(map[tuple.Value]struct{}, len(keys))
+	for _, k := range keys {
+		t.remaining[k] = struct{}{}
+	}
+	t.counterArmed = true
+}
+
+// CounterArmed reports whether a completion counter is active
+// (Cases 1 and 2 of §4.3). Without a counter (Case 3) completion is
+// detected via child notifications instead.
+func (t *Table) CounterArmed() bool { return t.counterArmed }
+
+// Counter returns the current counter value (distinct keys still to
+// complete). Zero when unarmed.
+func (t *Table) Counter() int { return len(t.remaining) }
+
+// Attempted reports whether entries for key were already computed (or
+// determined absent) since the last transition.
+func (t *Table) Attempted(key tuple.Value) bool {
+	if t.complete {
+		return true
+	}
+	_, ok := t.attempted[key]
+	return ok
+}
+
+// MarkAttempted records that entries for key are now as complete as
+// they will get, decrements the completion counter if key was pending,
+// and reports whether the counter just drained to zero (meaning the
+// caller should declare the state complete and notify its parent).
+func (t *Table) MarkAttempted(key tuple.Value) (drained bool) {
+	if t.complete {
+		return false
+	}
+	t.attempted[key] = struct{}{}
+	if t.counterArmed {
+		if _, ok := t.remaining[key]; ok {
+			delete(t.remaining, key)
+			if len(t.remaining) == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DropPending removes key from the completion counter without marking
+// it attempted — used when a window slide evicts the last tuple with
+// that key from the designated child side, so its entries will never
+// be needed (§4.3: "the counter is decremented accordingly").
+func (t *Table) DropPending(key tuple.Value) (drained bool) {
+	if t.complete || !t.counterArmed {
+		return false
+	}
+	if _, ok := t.remaining[key]; ok {
+		delete(t.remaining, key)
+		return len(t.remaining) == 0
+	}
+	return false
+}
+
+// Insert stores tup under its key.
+func (t *Table) Insert(tup *tuple.Tuple) {
+	t.buckets[tup.Key] = append(t.buckets[tup.Key], tup)
+	t.size++
+}
+
+// Probe returns the tuples stored under key. The returned slice is
+// owned by the table; callers must not mutate it.
+func (t *Table) Probe(key tuple.Value) []*tuple.Tuple {
+	return t.buckets[key]
+}
+
+// ContainsKey reports whether any tuple is stored under key.
+func (t *Table) ContainsKey(key tuple.Value) bool {
+	return len(t.buckets[key]) > 0
+}
+
+// RemoveRef removes every tuple under key whose provenance contains
+// ref, returning the removed tuples (needed to propagate eviction
+// upward). If the bucket empties it is deleted.
+func (t *Table) RemoveRef(key tuple.Value, ref tuple.Ref) []*tuple.Tuple {
+	bucket, ok := t.buckets[key]
+	if !ok {
+		return nil
+	}
+	var removed []*tuple.Tuple
+	kept := bucket[:0]
+	for _, tup := range bucket {
+		if tup.Contains(ref) {
+			removed = append(removed, tup)
+		} else {
+			kept = append(kept, tup)
+		}
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	t.size -= len(removed)
+	if len(kept) == 0 {
+		delete(t.buckets, key)
+	} else {
+		// Zero the tail so removed tuples are not retained by the
+		// backing array.
+		for i := len(kept); i < len(bucket); i++ {
+			bucket[i] = nil
+		}
+		t.buckets[key] = kept
+	}
+	return removed
+}
+
+// RemoveKey removes and returns every tuple stored under key —
+// set-difference suppression and requalification move whole key
+// buckets between the passing and suppressed tables.
+func (t *Table) RemoveKey(key tuple.Value) []*tuple.Tuple {
+	bucket, ok := t.buckets[key]
+	if !ok {
+		return nil
+	}
+	delete(t.buckets, key)
+	t.size -= len(bucket)
+	return bucket
+}
+
+// Size returns the number of stored tuples.
+func (t *Table) Size() int { return t.size }
+
+// DistinctKeys returns the number of distinct join-attribute values
+// present — the quantity the §4.3 counter is initialized from.
+func (t *Table) DistinctKeys() int { return len(t.buckets) }
+
+// Keys returns the distinct join-attribute values present. Order is
+// unspecified.
+func (t *Table) Keys() []tuple.Value {
+	out := make([]tuple.Value, 0, len(t.buckets))
+	for k := range t.buckets {
+		out = append(out, k)
+	}
+	return out
+}
+
+// AttemptedKeys returns the keys attempted since the last transition
+// (empty for complete tables). Order is unspecified. Used by
+// checkpointing.
+func (t *Table) AttemptedKeys() []tuple.Value {
+	out := make([]tuple.Value, 0, len(t.attempted))
+	for k := range t.attempted {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PendingKeys returns the completion counter's remaining keys and
+// whether a counter is armed. Used by checkpointing.
+func (t *Table) PendingKeys() ([]tuple.Value, bool) {
+	if !t.counterArmed {
+		return nil, false
+	}
+	out := make([]tuple.Value, 0, len(t.remaining))
+	for k := range t.remaining {
+		out = append(out, k)
+	}
+	return out, true
+}
+
+// RestoreMeta reinstates completeness bookkeeping from a checkpoint:
+// the incomplete flag, the attempted-key set, and (optionally) the
+// armed counter's pending keys.
+func (t *Table) RestoreMeta(complete bool, attempted []tuple.Value, pending []tuple.Value, counterArmed bool) {
+	if complete {
+		t.MarkComplete()
+		return
+	}
+	t.MarkIncomplete()
+	for _, k := range attempted {
+		t.attempted[k] = struct{}{}
+	}
+	if counterArmed {
+		t.ArmCounter(pending)
+	}
+}
+
+// Each calls fn for every stored tuple until fn returns false.
+func (t *Table) Each(fn func(*tuple.Tuple) bool) {
+	for _, bucket := range t.buckets {
+		for _, tup := range bucket {
+			if !fn(tup) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes all tuples but keeps completeness metadata.
+func (t *Table) Clear() {
+	t.buckets = make(map[tuple.Value][]*tuple.Tuple)
+	t.size = 0
+}
+
+// CountOld returns how many stored tuples contain at least one
+// constituent that arrived at or before cutoff. Parallel Track's
+// periodic discard check (§3.3) scans states with this.
+func (t *Table) CountOld(cutoff uint64, oldest func(*tuple.Tuple) uint64) int {
+	n := 0
+	for _, bucket := range t.buckets {
+		for _, tup := range bucket {
+			if oldest(tup) <= cutoff {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (t *Table) String() string {
+	status := "complete"
+	if !t.complete {
+		status = fmt.Sprintf("incomplete(counter=%d)", t.Counter())
+	}
+	return fmt.Sprintf("Table(%v %s size=%d keys=%d)", t.Set, status, t.size, len(t.buckets))
+}

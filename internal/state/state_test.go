@@ -1,0 +1,361 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jisc/internal/tuple"
+)
+
+func base(id tuple.StreamID, seq uint64, key tuple.Value) *tuple.Tuple {
+	return tuple.NewBase(id, seq, key, seq)
+}
+
+func TestTableInsertProbe(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	tb.Insert(base(0, 1, 10))
+	tb.Insert(base(0, 2, 10))
+	tb.Insert(base(0, 3, 20))
+	if tb.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", tb.Size())
+	}
+	if tb.DistinctKeys() != 2 {
+		t.Fatalf("DistinctKeys = %d, want 2", tb.DistinctKeys())
+	}
+	if got := len(tb.Probe(10)); got != 2 {
+		t.Errorf("Probe(10) len = %d, want 2", got)
+	}
+	if got := len(tb.Probe(99)); got != 0 {
+		t.Errorf("Probe(99) len = %d, want 0", got)
+	}
+	if !tb.ContainsKey(20) || tb.ContainsKey(99) {
+		t.Error("ContainsKey wrong")
+	}
+}
+
+func TestTableRemoveRef(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0, 1))
+	a := base(0, 1, 5)
+	b1 := base(1, 1, 5)
+	b2 := base(1, 2, 5)
+	tb.Insert(tuple.Join(a, b1))
+	tb.Insert(tuple.Join(a, b2))
+	removed := tb.RemoveRef(5, tuple.Ref{Stream: 1, Seq: 1})
+	if len(removed) != 1 {
+		t.Fatalf("removed %d tuples, want 1", len(removed))
+	}
+	if tb.Size() != 1 {
+		t.Fatalf("Size = %d after removal, want 1", tb.Size())
+	}
+	// Removing the ref shared by all remaining tuples empties the bucket.
+	removed = tb.RemoveRef(5, tuple.Ref{Stream: 0, Seq: 1})
+	if len(removed) != 1 || tb.Size() != 0 || tb.DistinctKeys() != 0 {
+		t.Fatalf("bucket not fully drained: removed=%d size=%d keys=%d",
+			len(removed), tb.Size(), tb.DistinctKeys())
+	}
+	if tb.RemoveRef(5, tuple.Ref{Stream: 0, Seq: 1}) != nil {
+		t.Error("removal from empty bucket returned tuples")
+	}
+}
+
+func TestTableCompletenessLifecycle(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0, 1))
+	if !tb.Complete() {
+		t.Fatal("new table must start complete")
+	}
+	if !tb.Attempted(7) {
+		t.Fatal("complete table must report every key attempted")
+	}
+	tb.MarkIncomplete()
+	if tb.Complete() || tb.Attempted(7) {
+		t.Fatal("incomplete table must not report attempted")
+	}
+	if tb.CounterArmed() {
+		t.Fatal("counter must not be armed before ArmCounter")
+	}
+	tb.ArmCounter([]tuple.Value{1, 2, 3})
+	if !tb.CounterArmed() || tb.Counter() != 3 {
+		t.Fatalf("counter = %d armed=%v", tb.Counter(), tb.CounterArmed())
+	}
+	if drained := tb.MarkAttempted(1); drained {
+		t.Fatal("counter drained too early")
+	}
+	if !tb.Attempted(1) {
+		t.Fatal("key 1 should be attempted")
+	}
+	// Attempting a key outside the designated side decrements nothing.
+	if drained := tb.MarkAttempted(99); drained || tb.Counter() != 2 {
+		t.Fatalf("foreign key changed counter: %d", tb.Counter())
+	}
+	if drained := tb.MarkAttempted(2); drained {
+		t.Fatal("drained with key 3 still pending")
+	}
+	if drained := tb.MarkAttempted(3); !drained {
+		t.Fatal("counter should drain on last pending key")
+	}
+	tb.MarkComplete()
+	if !tb.Complete() || !tb.Attempted(42) {
+		t.Fatal("MarkComplete did not restore complete semantics")
+	}
+}
+
+func TestTableDropPending(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0, 1))
+	tb.MarkIncomplete()
+	tb.ArmCounter([]tuple.Value{1, 2})
+	if drained := tb.DropPending(1); drained {
+		t.Fatal("drained too early")
+	}
+	if tb.Attempted(1) {
+		t.Fatal("DropPending must not mark the key attempted")
+	}
+	if drained := tb.DropPending(2); !drained {
+		t.Fatal("should drain when last pending key is dropped")
+	}
+	// Dropping on a complete table is a no-op.
+	tb.MarkComplete()
+	if tb.DropPending(3) {
+		t.Fatal("DropPending on complete table reported drained")
+	}
+}
+
+func TestTableMarkAttemptedIdempotent(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0, 1))
+	tb.MarkIncomplete()
+	tb.ArmCounter([]tuple.Value{1})
+	if !tb.MarkAttempted(1) {
+		t.Fatal("first attempt should drain")
+	}
+	if tb.MarkAttempted(1) {
+		t.Fatal("second attempt must not drain again")
+	}
+}
+
+func TestTableKeysAndEach(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	for i := 0; i < 5; i++ {
+		tb.Insert(base(0, uint64(i), tuple.Value(i%3)))
+	}
+	if got := len(tb.Keys()); got != 3 {
+		t.Fatalf("Keys len = %d, want 3", got)
+	}
+	n := 0
+	tb.Each(func(*tuple.Tuple) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("Each visited %d, want 5", n)
+	}
+	n = 0
+	tb.Each(func(*tuple.Tuple) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each with early stop visited %d, want 1", n)
+	}
+}
+
+func TestTableClear(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	tb.Insert(base(0, 1, 1))
+	tb.MarkIncomplete()
+	tb.Clear()
+	if tb.Size() != 0 || tb.DistinctKeys() != 0 {
+		t.Fatal("Clear left data behind")
+	}
+	if tb.Complete() {
+		t.Fatal("Clear must preserve completeness metadata")
+	}
+}
+
+func TestTableCountOld(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	for i := 1; i <= 4; i++ {
+		tb.Insert(base(0, uint64(i), 1))
+	}
+	oldest := func(tp *tuple.Tuple) uint64 { return tp.Refs[0].Seq }
+	if got := tb.CountOld(2, oldest); got != 2 {
+		t.Fatalf("CountOld(2) = %d, want 2", got)
+	}
+	if got := tb.CountOld(0, oldest); got != 0 {
+		t.Fatalf("CountOld(0) = %d, want 0", got)
+	}
+}
+
+// Property: size always equals the sum over buckets, and RemoveRef
+// after random inserts never leaves a tuple containing the ref.
+func TestTableSizeInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable(tuple.NewStreamSet(0))
+		for i := 0; i < 100; i++ {
+			tb.Insert(base(0, uint64(i), tuple.Value(rng.Intn(10))))
+		}
+		// Remove a handful of random refs.
+		for i := 0; i < 20; i++ {
+			seq := uint64(rng.Intn(100))
+			for _, k := range tb.Keys() {
+				tb.RemoveRef(k, tuple.Ref{Stream: 0, Seq: seq})
+			}
+		}
+		total := 0
+		ok := true
+		tb.Each(func(tp *tuple.Tuple) bool { total++; return true })
+		if total != tb.Size() {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0, 1))
+	if s := tb.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	tb.MarkIncomplete()
+	tb.ArmCounter([]tuple.Value{1})
+	if s := tb.String(); s == "" {
+		t.Fatal("empty String for incomplete table")
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	l := NewList(tuple.NewStreamSet(0))
+	if !l.Complete() {
+		t.Fatal("new list must start complete")
+	}
+	a := base(0, 1, 10)
+	b := base(0, 2, 20)
+	l.Insert(a)
+	l.Insert(b)
+	if l.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", l.Size())
+	}
+	probe := base(1, 1, 15)
+	got := l.Match(probe, func(p, s *tuple.Tuple) bool { return s.Key < p.Key })
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("Match = %v", got)
+	}
+}
+
+func TestListRemoveRef(t *testing.T) {
+	l := NewList(tuple.NewStreamSet(0))
+	a := base(0, 1, 10)
+	b := base(0, 2, 20)
+	l.Insert(a)
+	l.Insert(b)
+	removed := l.RemoveRef(tuple.Ref{Stream: 0, Seq: 1})
+	if len(removed) != 1 || removed[0] != a || l.Size() != 1 {
+		t.Fatalf("RemoveRef: removed=%v size=%d", removed, l.Size())
+	}
+	if got := l.RemoveRef(tuple.Ref{Stream: 0, Seq: 99}); len(got) != 0 {
+		t.Fatal("removed nonexistent ref")
+	}
+}
+
+func TestListAttempted(t *testing.T) {
+	l := NewList(tuple.NewStreamSet(0, 1))
+	ref := tuple.Ref{Stream: 0, Seq: 1}
+	if !l.Attempted(ref) {
+		t.Fatal("complete list must report attempted")
+	}
+	l.MarkIncomplete()
+	if l.Attempted(ref) {
+		t.Fatal("incomplete list must not report attempted")
+	}
+	l.MarkAttempted(ref)
+	if !l.Attempted(ref) {
+		t.Fatal("MarkAttempted not recorded")
+	}
+	l.MarkComplete()
+	if !l.Complete() {
+		t.Fatal("MarkComplete failed")
+	}
+}
+
+func TestListEachAndClear(t *testing.T) {
+	l := NewList(tuple.NewStreamSet(0))
+	for i := 0; i < 4; i++ {
+		l.Insert(base(0, uint64(i), 1))
+	}
+	n := 0
+	l.Each(func(*tuple.Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("Each early stop visited %d", n)
+	}
+	l.Clear()
+	if l.Size() != 0 {
+		t.Fatal("Clear left tuples")
+	}
+}
+
+func BenchmarkTableInsertProbe(b *testing.B) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Insert(base(0, uint64(i), tuple.Value(i%1024)))
+		tb.Probe(tuple.Value(i % 1024))
+	}
+}
+
+func TestTableRemoveKey(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	tb.Insert(base(0, 1, 5))
+	tb.Insert(base(0, 2, 5))
+	tb.Insert(base(0, 3, 9))
+	moved := tb.RemoveKey(5)
+	if len(moved) != 2 || tb.Size() != 1 || tb.ContainsKey(5) {
+		t.Fatalf("RemoveKey: moved=%d size=%d", len(moved), tb.Size())
+	}
+	if tb.RemoveKey(5) != nil {
+		t.Fatal("second RemoveKey returned tuples")
+	}
+	if tb.RemoveKey(42) != nil {
+		t.Fatal("RemoveKey of absent key returned tuples")
+	}
+}
+
+func TestTableRestoreMeta(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0, 1))
+	tb.RestoreMeta(false, []tuple.Value{1, 2}, []tuple.Value{3}, true)
+	if tb.Complete() || !tb.Attempted(1) || !tb.Attempted(2) || tb.Attempted(3) {
+		t.Fatal("attempted set not restored")
+	}
+	if !tb.CounterArmed() || tb.Counter() != 1 {
+		t.Fatalf("counter: armed=%v n=%d", tb.CounterArmed(), tb.Counter())
+	}
+	got, armed := tb.PendingKeys()
+	if !armed || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("PendingKeys = %v %v", got, armed)
+	}
+	if keys := tb.AttemptedKeys(); len(keys) != 2 {
+		t.Fatalf("AttemptedKeys = %v", keys)
+	}
+	tb.RestoreMeta(true, nil, nil, false)
+	if !tb.Complete() {
+		t.Fatal("complete restore failed")
+	}
+	if keys := tb.AttemptedKeys(); len(keys) != 0 {
+		t.Fatalf("complete table attempted keys = %v", keys)
+	}
+	if _, armed := tb.PendingKeys(); armed {
+		t.Fatal("complete table reports armed counter")
+	}
+}
+
+func TestListRestoreMeta(t *testing.T) {
+	l := NewList(tuple.NewStreamSet(0, 1))
+	ref := tuple.Ref{Stream: 0, Seq: 4}
+	l.RestoreMeta(false, []tuple.Ref{ref})
+	if l.Complete() || !l.Attempted(ref) {
+		t.Fatal("list meta not restored")
+	}
+	if refs := l.AttemptedRefs(); len(refs) != 1 || refs[0] != ref {
+		t.Fatalf("AttemptedRefs = %v", refs)
+	}
+	l.RestoreMeta(true, nil)
+	if !l.Complete() || len(l.AttemptedRefs()) != 0 {
+		t.Fatal("complete list restore failed")
+	}
+}

@@ -1,0 +1,232 @@
+// Package tuple defines the data model shared by every operator in the
+// repository: base stream tuples, composite join tuples, stream
+// identifiers, and the stream-set bitmask that identifies join states.
+//
+// The paper's execution model (JISC, EDBT 2014, §2.1) uses symmetric
+// hash joins on a single join attribute; a tuple therefore carries one
+// Key used for hashing/probing plus an opaque payload. Composite
+// tuples additionally carry provenance references (stream, sequence
+// number) so that sliding-window eviction can locate and remove every
+// intermediate result containing an expired base tuple.
+package tuple
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Value is the domain of the join attribute.
+type Value int64
+
+// StreamID identifies a base input stream. Streams are numbered
+// densely from zero; at most MaxStreams streams participate in a query.
+type StreamID uint8
+
+// MaxStreams bounds the number of base streams in one query. The
+// bound exists only because StreamSet is a 64-bit bitmask; the paper's
+// largest experiments use 21 streams (20 joins).
+const MaxStreams = 64
+
+// StreamSet is a bitmask over StreamIDs. A join state is identified by
+// the set of base streams its tuples cover (Definition 1 classifies a
+// new-plan state as complete iff its stream set existed in the old
+// plan), so StreamSet doubles as the state identifier.
+type StreamSet uint64
+
+// NewStreamSet returns the set containing the given streams.
+func NewStreamSet(ids ...StreamID) StreamSet {
+	var s StreamSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Add returns s with id included.
+func (s StreamSet) Add(id StreamID) StreamSet { return s | 1<<id }
+
+// Has reports whether id is in the set.
+func (s StreamSet) Has(id StreamID) bool { return s&(1<<id) != 0 }
+
+// Union returns the union of both sets.
+func (s StreamSet) Union(o StreamSet) StreamSet { return s | o }
+
+// Intersects reports whether the two sets share a stream.
+func (s StreamSet) Intersects(o StreamSet) bool { return s&o != 0 }
+
+// Contains reports whether every stream of o is in s.
+func (s StreamSet) Contains(o StreamSet) bool { return s&o == o }
+
+// Count returns the number of streams in the set.
+func (s StreamSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Streams returns the member StreamIDs in ascending order.
+func (s StreamSet) Streams() []StreamID {
+	out := make([]StreamID, 0, s.Count())
+	for s != 0 {
+		id := StreamID(bits.TrailingZeros64(uint64(s)))
+		out = append(out, id)
+		s &^= 1 << id
+	}
+	return out
+}
+
+// String renders the set like "{0,2,5}".
+func (s StreamSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.Streams() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Ref identifies one base tuple: the stream it arrived on and its
+// per-stream sequence number. Refs are the unit of provenance used by
+// window eviction and by Parallel Track duplicate elimination.
+type Ref struct {
+	Stream StreamID
+	Seq    uint64
+}
+
+func (r Ref) String() string { return fmt.Sprintf("%d#%d", r.Stream, r.Seq) }
+
+// Tuple is either a base stream tuple (one Ref) or a composite join
+// result (the sorted union of its constituents' Refs). All
+// constituents of an equi-join composite share the same Key.
+//
+// Tuples are immutable after construction; operators share pointers
+// freely across states.
+type Tuple struct {
+	// Key is the join attribute value (the paper's "ID").
+	Key Value
+	// Set is the bitmask of base streams covered by this tuple.
+	Set StreamSet
+	// Refs holds the provenance of every constituent base tuple,
+	// sorted by (Stream, Seq).
+	Refs []Ref
+	// Payload carries opaque non-join attributes of a base tuple.
+	// Composites keep payloads reachable through their constituents
+	// only, so Payload is nil for composites.
+	Payload []Value
+	// Arrival is the global arrival tick of the newest constituent;
+	// it orders tuples across streams and marks pre- vs
+	// post-transition tuples.
+	Arrival uint64
+	// Oldest is the global arrival tick of the oldest constituent.
+	// Parallel Track uses it for O(1) duplicate elimination (a result
+	// is produced by every plan instance born before its oldest
+	// constituent) and for the old-plan discard check.
+	Oldest uint64
+}
+
+// NewBase builds a base tuple for stream id with per-stream sequence
+// seq, join key key, arriving at global tick arrival.
+func NewBase(id StreamID, seq uint64, key Value, arrival uint64) *Tuple {
+	return &Tuple{
+		Key:     key,
+		Set:     NewStreamSet(id),
+		Refs:    []Ref{{Stream: id, Seq: seq}},
+		Arrival: arrival,
+		Oldest:  arrival,
+	}
+}
+
+// Join merges two tuples with disjoint stream sets into a composite.
+// It panics if the stream sets overlap, which would indicate a plan
+// wiring bug rather than a data condition.
+func Join(a, b *Tuple) *Tuple {
+	if a.Set.Intersects(b.Set) {
+		panic(fmt.Sprintf("tuple: joining overlapping stream sets %v and %v", a.Set, b.Set))
+	}
+	refs := make([]Ref, 0, len(a.Refs)+len(b.Refs))
+	refs = append(refs, a.Refs...)
+	refs = append(refs, b.Refs...)
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Stream != refs[j].Stream {
+			return refs[i].Stream < refs[j].Stream
+		}
+		return refs[i].Seq < refs[j].Seq
+	})
+	arrival := a.Arrival
+	if b.Arrival > arrival {
+		arrival = b.Arrival
+	}
+	oldest := a.Oldest
+	if b.Oldest < oldest {
+		oldest = b.Oldest
+	}
+	return &Tuple{
+		Key:     a.Key,
+		Set:     a.Set.Union(b.Set),
+		Refs:    refs,
+		Arrival: arrival,
+		Oldest:  oldest,
+	}
+}
+
+// JoinTheta merges two tuples for a theta (non-equi) join. The
+// composite inherits the left key; theta-join states are scanned, not
+// hashed, so the key choice only matters for diagnostics.
+func JoinTheta(a, b *Tuple) *Tuple {
+	t := Join(a, b)
+	t.Key = a.Key
+	return t
+}
+
+// Contains reports whether the tuple's provenance includes ref.
+func (t *Tuple) Contains(ref Ref) bool {
+	// Refs are sorted by (Stream, Seq); binary search.
+	i := sort.Search(len(t.Refs), func(i int) bool {
+		r := t.Refs[i]
+		if r.Stream != ref.Stream {
+			return r.Stream > ref.Stream
+		}
+		return r.Seq >= ref.Seq
+	})
+	return i < len(t.Refs) && t.Refs[i] == ref
+}
+
+// RefOf returns the provenance ref for stream id and whether the tuple
+// covers that stream.
+func (t *Tuple) RefOf(id StreamID) (Ref, bool) {
+	if !t.Set.Has(id) {
+		return Ref{}, false
+	}
+	for _, r := range t.Refs {
+		if r.Stream == id {
+			return r, true
+		}
+	}
+	return Ref{}, false
+}
+
+// IsBase reports whether the tuple is a single-stream base tuple.
+func (t *Tuple) IsBase() bool { return len(t.Refs) == 1 }
+
+// Fingerprint returns a canonical string identifying the output tuple
+// by its provenance. Two output tuples produced by different execution
+// strategies (or different plans over the same streams) are the same
+// logical result iff their fingerprints match, which is how the
+// cross-strategy equivalence tests and the Parallel Track duplicate
+// eliminator compare outputs.
+func (t *Tuple) Fingerprint() string {
+	var b strings.Builder
+	for i, r := range t.Refs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d#%d", r.Stream, r.Seq)
+	}
+	return b.String()
+}
+
+func (t *Tuple) String() string {
+	return fmt.Sprintf("Tuple(key=%d set=%v refs=%s)", t.Key, t.Set, t.Fingerprint())
+}

@@ -1,0 +1,133 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jisc/internal/tuple"
+)
+
+func TestAdmitBelowCapacity(t *testing.T) {
+	w := New(0, 3)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, ok := w.Admit(tuple.Ref{Stream: 0, Seq: seq}, tuple.Value(seq)); ok {
+			t.Fatalf("expiry before capacity at seq %d", seq)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+}
+
+func TestAdmitEvictsOldest(t *testing.T) {
+	w := New(0, 2)
+	w.Admit(tuple.Ref{Stream: 0, Seq: 1}, 10)
+	w.Admit(tuple.Ref{Stream: 0, Seq: 2}, 20)
+	exp, ok := w.Admit(tuple.Ref{Stream: 0, Seq: 3}, 30)
+	if !ok {
+		t.Fatal("no expiry at capacity")
+	}
+	if exp.Ref.Seq != 1 || exp.Key != 10 {
+		t.Fatalf("expired %+v, want seq 1 key 10", exp)
+	}
+	exp, ok = w.Admit(tuple.Ref{Stream: 0, Seq: 4}, 40)
+	if !ok || exp.Ref.Seq != 2 {
+		t.Fatalf("expired %+v, want seq 2", exp)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+}
+
+func TestOldestAndContains(t *testing.T) {
+	w := New(1, 3)
+	if _, ok := w.Oldest(); ok {
+		t.Fatal("Oldest on empty window")
+	}
+	if w.Contains(1) {
+		t.Fatal("Contains on empty window")
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		w.Admit(tuple.Ref{Stream: 1, Seq: seq}, 0)
+	}
+	old, ok := w.Oldest()
+	if !ok || old.Ref.Seq != 3 {
+		t.Fatalf("Oldest = %+v", old)
+	}
+	for seq := uint64(3); seq <= 5; seq++ {
+		if !w.Contains(seq) {
+			t.Errorf("Contains(%d) = false", seq)
+		}
+	}
+	for _, seq := range []uint64{1, 2, 6} {
+		if w.Contains(seq) {
+			t.Errorf("Contains(%d) = true", seq)
+		}
+	}
+}
+
+func TestEachOldestFirst(t *testing.T) {
+	w := New(0, 3)
+	for seq := uint64(1); seq <= 5; seq++ {
+		w.Admit(tuple.Ref{Stream: 0, Seq: seq}, 0)
+	}
+	var seqs []uint64
+	w.Each(func(e Entry) bool { seqs = append(seqs, e.Ref.Seq); return true })
+	want := []uint64{3, 4, 5}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", seqs, want)
+		}
+	}
+	n := 0
+	w.Each(func(Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each early stop visited %d", n)
+	}
+}
+
+func TestWrongStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-stream Admit did not panic")
+		}
+	}()
+	New(0, 2).Admit(tuple.Ref{Stream: 1, Seq: 1}, 0)
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size window did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+// Property: after any admission sequence, the window holds exactly the
+// last min(n, size) tuples and expiry order is FIFO.
+func TestFIFOProperty(t *testing.T) {
+	f := func(sizeRaw uint8, nRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		n := int(nRaw)
+		w := New(0, size)
+		nextExpiry := uint64(1)
+		for seq := uint64(1); seq <= uint64(n); seq++ {
+			exp, ok := w.Admit(tuple.Ref{Stream: 0, Seq: seq}, 0)
+			if ok {
+				if exp.Ref.Seq != nextExpiry {
+					return false
+				}
+				nextExpiry++
+			}
+		}
+		wantLen := n
+		if wantLen > size {
+			wantLen = size
+		}
+		return w.Len() == wantLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package workload generates the synthetic stream workloads of the
+// paper's experimental study (§6): uniformly distributed join-key
+// values, tuples distributed across the query's streams (round-robin
+// or weighted), plus a Zipf option for skewed-key scenarios and
+// deterministic seeding so every run is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jisc/internal/tuple"
+)
+
+// Event is one input tuple before it enters an executor.
+type Event struct {
+	Stream tuple.StreamID
+	Key    tuple.Value
+}
+
+// KeyDist selects the distribution of join-attribute values.
+type KeyDist int
+
+const (
+	// Uniform draws keys uniformly from [0, Domain) — the paper's
+	// setting ("we uniformly generate the data").
+	Uniform KeyDist = iota
+	// Zipf draws keys Zipf-distributed over [0, Domain) with s=1.1.
+	Zipf
+)
+
+// Config parameterizes a Source.
+type Config struct {
+	// Streams is the number of base streams (n+1 for n joins).
+	Streams int
+	// Domain is the number of distinct join-attribute values.
+	// Together with the window size it fixes join selectivity:
+	// expected matches per probe ≈ window/Domain.
+	Domain int64
+	// Dist selects the key distribution.
+	Dist KeyDist
+	// Seed makes the workload deterministic.
+	Seed int64
+	// Weights optionally skews the per-stream arrival rates; nil
+	// means uniform round-robin assignment ("uniformly distribute it
+	// across the different streams").
+	Weights []float64
+	// Domains optionally overrides Domain per stream, giving streams
+	// different join selectivities (a stream drawing from a larger
+	// domain matches less often). nil means every stream uses Domain.
+	Domains []int64
+}
+
+// Source produces a deterministic stream of Events.
+type Source struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	// cumulative weights for weighted stream choice; nil for
+	// round-robin.
+	cum  []float64
+	next int // round-robin cursor
+}
+
+// NewSource validates cfg and returns a Source.
+func NewSource(cfg Config) (*Source, error) {
+	if cfg.Streams < 2 || cfg.Streams > tuple.MaxStreams {
+		return nil, fmt.Errorf("workload: streams must be in [2,%d], got %d", tuple.MaxStreams, cfg.Streams)
+	}
+	if cfg.Domain <= 0 {
+		return nil, fmt.Errorf("workload: domain must be positive, got %d", cfg.Domain)
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != cfg.Streams {
+		return nil, fmt.Errorf("workload: %d weights for %d streams", len(cfg.Weights), cfg.Streams)
+	}
+	if cfg.Domains != nil {
+		if len(cfg.Domains) != cfg.Streams {
+			return nil, fmt.Errorf("workload: %d domains for %d streams", len(cfg.Domains), cfg.Streams)
+		}
+		for i, d := range cfg.Domains {
+			if d <= 0 {
+				return nil, fmt.Errorf("workload: non-positive domain %d for stream %d", d, i)
+			}
+		}
+	}
+	s := &Source{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Dist == Zipf {
+		s.zipf = rand.NewZipf(s.rng, 1.1, 1, uint64(cfg.Domain-1))
+	}
+	if cfg.Weights != nil {
+		total := 0.0
+		s.cum = make([]float64, cfg.Streams)
+		for i, w := range cfg.Weights {
+			if w < 0 {
+				return nil, fmt.Errorf("workload: negative weight %f for stream %d", w, i)
+			}
+			total += w
+			s.cum[i] = total
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("workload: weights sum to zero")
+		}
+	}
+	return s, nil
+}
+
+// MustNewSource is NewSource but panics on error.
+func MustNewSource(cfg Config) *Source {
+	s, err := NewSource(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Next returns the next event.
+func (s *Source) Next() Event {
+	var id tuple.StreamID
+	if s.cum != nil {
+		x := s.rng.Float64() * s.cum[len(s.cum)-1]
+		for i, c := range s.cum {
+			if x < c {
+				id = tuple.StreamID(i)
+				break
+			}
+		}
+	} else {
+		id = tuple.StreamID(s.next)
+		s.next = (s.next + 1) % s.cfg.Streams
+	}
+	return Event{Stream: id, Key: s.key(id)}
+}
+
+func (s *Source) key(id tuple.StreamID) tuple.Value {
+	if s.zipf != nil {
+		return tuple.Value(s.zipf.Uint64())
+	}
+	domain := s.cfg.Domain
+	if s.cfg.Domains != nil {
+		domain = s.cfg.Domains[id]
+	}
+	return tuple.Value(s.rng.Int63n(domain))
+}
+
+// Take returns the next n events.
+func (s *Source) Take(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Streams returns the configured stream count.
+func (s *Source) Streams() int { return s.cfg.Streams }

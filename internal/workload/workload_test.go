@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"jisc/internal/tuple"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"too few streams", Config{Streams: 1, Domain: 10}},
+		{"too many streams", Config{Streams: tuple.MaxStreams + 1, Domain: 10}},
+		{"zero domain", Config{Streams: 3, Domain: 0}},
+		{"weight count mismatch", Config{Streams: 3, Domain: 10, Weights: []float64{1, 2}}},
+		{"negative weight", Config{Streams: 2, Domain: 10, Weights: []float64{1, -1}}},
+		{"zero weights", Config{Streams: 2, Domain: 10, Weights: []float64{0, 0}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSource(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Streams: 4, Domain: 100, Seed: 7}
+	a := MustNewSource(cfg).Take(1000)
+	b := MustNewSource(cfg).Take(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRoundRobinDistribution(t *testing.T) {
+	s := MustNewSource(Config{Streams: 5, Domain: 1000, Seed: 1})
+	counts := map[tuple.StreamID]int{}
+	for _, e := range s.Take(5000) {
+		counts[e.Stream]++
+	}
+	for id := tuple.StreamID(0); id < 5; id++ {
+		if counts[id] != 1000 {
+			t.Errorf("stream %d got %d tuples, want exactly 1000 (round-robin)", id, counts[id])
+		}
+	}
+}
+
+func TestKeysInDomain(t *testing.T) {
+	s := MustNewSource(Config{Streams: 2, Domain: 50, Seed: 3})
+	for _, e := range s.Take(2000) {
+		if e.Key < 0 || e.Key >= 50 {
+			t.Fatalf("key %d outside [0,50)", e.Key)
+		}
+	}
+}
+
+func TestUniformKeysCoverDomain(t *testing.T) {
+	s := MustNewSource(Config{Streams: 2, Domain: 16, Seed: 5})
+	seen := map[tuple.Value]bool{}
+	for _, e := range s.Take(2000) {
+		seen[e.Key] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("uniform keys covered %d/16 values", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := MustNewSource(Config{Streams: 2, Domain: 1000, Dist: Zipf, Seed: 9})
+	counts := map[tuple.Value]int{}
+	n := 20000
+	for _, e := range s.Take(n) {
+		counts[e.Key]++
+	}
+	// Zipf concentrates mass on small keys: key 0 should be far more
+	// frequent than the uniform expectation n/domain.
+	if counts[0] < 5*n/1000 {
+		t.Errorf("zipf key 0 count = %d, expected heavy skew (> %d)", counts[0], 5*n/1000)
+	}
+}
+
+func TestWeightedStreams(t *testing.T) {
+	s := MustNewSource(Config{
+		Streams: 2, Domain: 100, Seed: 11,
+		Weights: []float64{3, 1},
+	})
+	counts := map[tuple.StreamID]int{}
+	n := 40000
+	for _, e := range s.Take(n) {
+		counts[e.Stream]++
+	}
+	frac := float64(counts[0]) / float64(n)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("stream 0 fraction = %f, want ~0.75", frac)
+	}
+}
+
+func TestStreamsAccessor(t *testing.T) {
+	s := MustNewSource(Config{Streams: 7, Domain: 10, Seed: 1})
+	if s.Streams() != 7 {
+		t.Fatalf("Streams() = %d", s.Streams())
+	}
+}
+
+func TestMustNewSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewSource did not panic on invalid config")
+		}
+	}()
+	MustNewSource(Config{Streams: 0, Domain: 0})
+}
+
+func TestPerStreamDomains(t *testing.T) {
+	s := MustNewSource(Config{
+		Streams: 2, Domain: 100, Seed: 7,
+		Domains: []int64{4, 1000},
+	})
+	maxKey := map[tuple.StreamID]tuple.Value{}
+	for _, e := range s.Take(4000) {
+		if e.Key > maxKey[e.Stream] {
+			maxKey[e.Stream] = e.Key
+		}
+	}
+	if maxKey[0] >= 4 {
+		t.Errorf("stream 0 key %d outside its domain 4", maxKey[0])
+	}
+	if maxKey[1] < 100 {
+		t.Errorf("stream 1 max key %d suspiciously small for domain 1000", maxKey[1])
+	}
+}
+
+func TestDomainsValidation(t *testing.T) {
+	if _, err := NewSource(Config{Streams: 2, Domain: 10, Domains: []int64{1}}); err == nil {
+		t.Error("domain count mismatch accepted")
+	}
+	if _, err := NewSource(Config{Streams: 2, Domain: 10, Domains: []int64{1, 0}}); err == nil {
+		t.Error("zero per-stream domain accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package jisc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQueryQuickPath(t *testing.T) {
+	var results []Delta
+	q, err := NewQuery(QueryConfig{
+		Plan:       LeftDeep(0, 1, 2),
+		WindowSize: 100,
+		Output:     func(d Delta) { results = append(results, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []Event{{Stream: 0, Key: 7}, {Stream: 1, Key: 7}, {Stream: 2, Key: 7}} {
+		q.Feed(ev)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if err := q.Migrate(LeftDeep(2, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	q.Feed(Event{Stream: 0, Key: 7})
+	if len(results) != 2 {
+		t.Fatalf("results after migration = %d", len(results))
+	}
+	if q.Metrics().Transitions != 1 {
+		t.Fatalf("transitions = %d", q.Metrics().Transitions)
+	}
+	if q.Plan().String() != "((2⋈1)⋈0)" {
+		t.Fatalf("plan = %s", q.Plan())
+	}
+}
+
+func TestQueryStrategies(t *testing.T) {
+	for _, s := range []Strategy{JISC, MovingState} {
+		q, err := NewQuery(QueryConfig{Plan: LeftDeep(0, 1), Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Feed(Event{Stream: 0, Key: 1})
+		if err := q.Migrate(LeftDeep(1, 0)); err != nil {
+			t.Fatalf("strategy %v: %v", s, err)
+		}
+	}
+	q, err := NewQuery(QueryConfig{Plan: LeftDeep(0, 1), Strategy: Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Migrate(LeftDeep(1, 0)); err == nil {
+		t.Fatal("static query accepted migration")
+	}
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	if _, err := NewQuery(QueryConfig{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+func TestAsyncQuery(t *testing.T) {
+	var n int
+	q, err := NewAsyncQuery(QueryConfig{
+		Plan:   LeftDeep(0, 1),
+		Output: func(Delta) { n++ }, // worker goroutine only
+	}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if err := q.Feed(Event{Stream: 0, Key: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Migrate(LeftDeep(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Feed(Event{Stream: 1, Key: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := q.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Input != 2 || n != 1 {
+		t.Fatalf("input=%d outputs=%d", m.Input, n)
+	}
+}
+
+func TestQueryCheckpointRestore(t *testing.T) {
+	var results int
+	q, err := NewQuery(QueryConfig{
+		Plan: LeftDeep(0, 1), WindowSize: 10,
+		Output: func(Delta) { results++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed(Event{Stream: 0, Key: 4})
+	var buf bytes.Buffer
+	if err := q.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreQuery(&buf, QueryConfig{
+		WindowSize: 10,
+		Output:     func(Delta) { results++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Feed(Event{Stream: 1, Key: 4}) // joins the checkpointed tuple
+	if results != 1 {
+		t.Fatalf("results = %d, want 1", results)
+	}
+}
+
+func TestSetDiffQueryFacade(t *testing.T) {
+	var adds, retracts int
+	q, err := NewSetDiffQuery(QueryConfig{
+		Plan: LeftDeep(0, 1), WindowSize: 50,
+		Output: func(d Delta) {
+			if d.Retraction {
+				retracts++
+			} else {
+				adds++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed(Event{Stream: 0, Key: 1}) // passes
+	q.Feed(Event{Stream: 1, Key: 1}) // vetoed
+	if adds != 1 || retracts != 1 {
+		t.Fatalf("adds=%d retracts=%d", adds, retracts)
+	}
+	if err := q.Migrate(LeftDeep(1, 0)); err == nil {
+		t.Fatal("reordering the outer of a set-difference accepted")
+	}
+}
+
+func TestRestoreQueryErrors(t *testing.T) {
+	if _, err := RestoreQuery(bytes.NewReader([]byte("garbage")), QueryConfig{}); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
+
+func TestQueryEmitExpiry(t *testing.T) {
+	var retracts int
+	q, err := NewQuery(QueryConfig{
+		Plan: LeftDeep(0, 1), WindowSize: 2, EmitExpiry: true,
+		Output: func(d Delta) {
+			if d.Retraction {
+				retracts++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed(Event{Stream: 0, Key: 1})
+	q.Feed(Event{Stream: 1, Key: 1})
+	q.Feed(Event{Stream: 0, Key: 8})
+	q.Feed(Event{Stream: 0, Key: 9}) // expires the matched stream-0 tuple
+	if retracts != 1 {
+		t.Fatalf("retractions = %d", retracts)
+	}
+}
