@@ -39,8 +39,9 @@ func main() {
 		window   = flag.Int("window", 10000, "per-stream window size in tuples")
 		timeSpan = flag.Uint64("timespan", 0, "time-based window span in ticks (0 = count-based)")
 		strat    = flag.String("strategy", "jisc", "migration strategy: jisc, moving-state, static")
-		queue    = flag.Int("queue", 4096, "input queue size")
+		queue    = flag.Int("queue", 4096, "input queue size (per shard)")
 		shedding = flag.Bool("shed", false, "drop tuples instead of blocking when the queue is full")
+		shards   = flag.Int("shards", 1, "worker shards per query (hash-partitioned by join key)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		},
 		QueueSize: *queue,
 		Overflow:  overflow,
+		Shards:    *shards,
 	}})
 	if err != nil {
 		die(err)
@@ -85,8 +87,8 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		die(err)
 	}
-	fmt.Printf("jiscd: serving %s on %s (strategy %s, window %d)\n",
-		p, srv.Addr(), *strat, *window)
+	fmt.Printf("jiscd: serving %s on %s (strategy %s, window %d, shards %d)\n",
+		p, srv.Addr(), *strat, *window, *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -40,6 +40,14 @@ type Config struct {
 	// median (latency) or minimum (throughput), damping scheduler
 	// noise. Zero means 1.
 	Reps int
+	// Shards, when above 1, runs the JISC measurement of the
+	// migration-stage experiments (Figures 7 and 8) through the
+	// sharded runtime entry point instead of the bare single-threaded
+	// engine: the workload is hash-partitioned across Shards workers
+	// and the transition fans out to every shard. The comparison
+	// baselines (Parallel Track, CACQ) have no sharded variant and
+	// always run single-threaded.
+	Shards int
 }
 
 // reps returns the repetition count, at least 1.

@@ -9,6 +9,7 @@ import (
 	"jisc/internal/engine"
 	"jisc/internal/migrate"
 	"jisc/internal/plan"
+	"jisc/internal/runtime"
 	"jisc/internal/workload"
 )
 
@@ -56,6 +57,9 @@ func migrationStage(cfg Config, joinCounts []int, swap func(*plan.Plan) *plan.Pl
 		return nil, err
 	}
 	fprintf(w, "%s — migration-stage execution time, window=%d\n", title, cfg.Window)
+	if cfg.Shards > 1 {
+		fprintf(w, "(JISC column runs the sharded runtime with %d shards; PT/CACQ single-threaded)\n", cfg.Shards)
+	}
 	fprintf(w, "%6s %10s %12s %12s %12s %9s %9s\n",
 		"joins", "mig-tuples", "JISC", "ParTrack", "CACQ", "PT/JISC", "CACQ/JISC")
 	var rows []MigrationRow
@@ -139,8 +143,49 @@ func migrationStageOne(cfg Config, joins int, swap func(*plan.Plan) *plan.Plan) 
 	}
 
 	// --- JISC: identical warmup and transition, then replay the same
-	// migration-stage tuples.
+	// migration-stage tuples. With cfg.Shards > 1 the measurement
+	// exercises the sharded runtime entry point: warmup and stage are
+	// hash-partitioned across the shards and the transition fans out.
 	runJISC := func() (time.Duration, error) {
+		if cfg.Shards > 1 {
+			// Windows are per shard, and each shard sees ~1/N of the
+			// key domain. Splitting the window budget keeps the
+			// tuples-per-key density — and hence the join fan-out per
+			// level — the same as the single-engine run; giving every
+			// shard the full window would multiply the density by N
+			// and blow up intermediate states exponentially in the
+			// join count.
+			shardWin := cfg.Window / cfg.Shards
+			if shardWin < 1 {
+				shardWin = 1
+			}
+			rt := runtime.MustNew(runtime.Config{
+				Engine: engine.Config{Plan: p, WindowSize: shardWin, Strategy: core.New()},
+				Shards: cfg.Shards,
+			})
+			defer rt.Close()
+			for _, ev := range warm {
+				if err := rt.Feed(ev); err != nil {
+					return 0, err
+				}
+			}
+			if err := rt.Flush(); err != nil {
+				return 0, err
+			}
+			if err := rt.Migrate(target); err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			for _, ev := range stage {
+				if err := rt.Feed(ev); err != nil {
+					return 0, err
+				}
+			}
+			if err := rt.Flush(); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}
 		je := engine.MustNew(engine.Config{Plan: p, WindowSize: cfg.Window, Strategy: core.New()})
 		for _, ev := range warm {
 			je.Feed(ev)

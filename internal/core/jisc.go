@@ -142,7 +142,8 @@ func (c *JISC) completeKeyLD(e *engine.Engine, n *engine.Node, key tuple.Value) 
 // from its children's states.
 func (c *JISC) joinInto(e *engine.Engine, n *engine.Node, key tuple.Value) {
 	met := e.Collector()
-	met.Completions++
+	met.Completions.Add(1)
+	bld := e.Builder()
 	born := n.Born
 	left := n.Left.St.Probe(key)
 	right := n.Right.St.Probe(key)
@@ -154,8 +155,8 @@ func (c *JISC) joinInto(e *engine.Engine, n *engine.Node, key tuple.Value) {
 			if r.Arrival > born {
 				continue
 			}
-			n.St.Insert(tuple.Join(l, r))
-			met.CompletedEntries++
+			n.St.Insert(bld.Join(l, r))
+			met.CompletedEntries.Add(1)
 		}
 	}
 }
@@ -186,7 +187,8 @@ func (c *JISC) completeNLState(e *engine.Engine, n *engine.Node) {
 	c.completeChildFull(e, n.Left)
 	c.completeChildFull(e, n.Right)
 	met := e.Collector()
-	met.Completions++
+	met.Completions.Add(1)
+	bld := e.Builder()
 	born := n.Born
 	pred := e.Theta()
 	n.Left.EachEntry(func(l *tuple.Tuple) bool {
@@ -198,8 +200,8 @@ func (c *JISC) completeNLState(e *engine.Engine, n *engine.Node) {
 				return true
 			}
 			if pred(l, r) {
-				n.Ls.Insert(tuple.JoinTheta(l, r))
-				met.CompletedEntries++
+				n.Ls.Insert(bld.JoinTheta(l, r))
+				met.CompletedEntries.Add(1)
 			}
 			return true
 		})
@@ -261,7 +263,7 @@ func (c *JISC) completeDiffKey(e *engine.Engine, j *engine.Node, key tuple.Value
 	}
 	c.completeDiffKey(e, j.Left, key, exclude, haveExclude)
 	met := e.Collector()
-	met.Completions++
+	met.Completions.Add(1)
 	// Does the inner stream suppress this key (ignoring the excluded
 	// in-flight tuple)?
 	suppressed := false
@@ -285,7 +287,7 @@ func (c *JISC) completeDiffKey(e *engine.Engine, j *engine.Node, key tuple.Value
 				continue
 			}
 			j.St.Insert(t)
-			met.CompletedEntries++
+			met.CompletedEntries.Add(1)
 		}
 	}
 	if j.St.MarkAttempted(key) {

@@ -125,19 +125,19 @@ func (c *CACQ) Feed(ev workload.Event) {
 func (c *CACQ) FeedStamped(ev workload.Event, seq, tick uint64) {
 	c.tick = tick
 	c.seqs[ev.Stream] = seq
-	c.met.Input++
+	c.met.Input.Add(1)
 
 	// Slide the window: expired tuples leave only the SteM — CACQ has
 	// no intermediate state to clean, its advantage on eviction.
 	ref := tuple.Ref{Stream: ev.Stream, Seq: seq}
 	if exp, ok := c.windows[ev.Stream].Admit(ref, ev.Key); ok {
 		c.stems[ev.Stream].RemoveRef(exp.Key, exp.Ref)
-		c.met.Evictions++
+		c.met.Evictions.Add(1)
 	}
 
 	t := tuple.NewBase(ev.Stream, seq, ev.Key, tick)
 	c.stems[ev.Stream].Insert(t)
-	c.met.Inserts++
+	c.met.Inserts.Add(1)
 
 	// The eddy's dispatch loop: tuples (base and intermediate) queue
 	// up at the eddy, which pops each one, consults the routing policy
@@ -149,7 +149,7 @@ func (c *CACQ) FeedStamped(ev workload.Event, seq, tick uint64) {
 	for len(c.queue) > 0 {
 		u := c.queue[len(c.queue)-1]
 		c.queue = c.queue[:len(c.queue)-1]
-		c.met.EddyVisits++
+		c.met.EddyVisits.Add(1)
 		// Routing decision: the next unvisited SteM — first in routing
 		// order, or the best filter under the lottery policy.
 		var next tuple.StreamID
@@ -173,7 +173,7 @@ func (c *CACQ) FeedStamped(ev workload.Event, seq, tick uint64) {
 			}
 			continue
 		}
-		c.met.Probes++
+		c.met.Probes.Add(1)
 		matches := c.stems[next].Probe(u.Key)
 		if c.lot != nil {
 			c.lot.observe(next, len(matches))

@@ -149,7 +149,7 @@ func (s *Stairs) Feed(ev workload.Event) {
 func (s *Stairs) FeedStamped(ev workload.Event, seq, tick uint64) {
 	s.tick = tick
 	s.seqs[ev.Stream] = seq
-	s.met.Input++
+	s.met.Input.Add(1)
 
 	ref := tuple.Ref{Stream: ev.Stream, Seq: seq}
 	if exp, ok := s.windows[ev.Stream].Admit(ref, ev.Key); ok {
@@ -158,7 +158,7 @@ func (s *Stairs) FeedStamped(ev workload.Event, seq, tick uint64) {
 
 	t := tuple.NewBase(ev.Stream, seq, ev.Key, tick)
 	s.stems[ev.Stream].Insert(t)
-	s.met.Inserts++
+	s.met.Inserts.Add(1)
 
 	// Route along the prefix lineage: a tuple at position p first
 	// probes the state below it (prefix p-1, possibly incomplete),
@@ -166,7 +166,7 @@ func (s *Stairs) FeedStamped(ev workload.Event, seq, tick uint64) {
 	p := s.position(ev.Stream)
 	prefixes := s.prefixSets()
 	var cur []*tuple.Tuple
-	s.met.EddyVisits++
+	s.met.EddyVisits.Add(1)
 	switch p {
 	case 0:
 		cur = s.probe(s.stems[s.order[1]], t)
@@ -183,13 +183,13 @@ func (s *Stairs) FeedStamped(ev workload.Event, seq, tick uint64) {
 	}
 	for _, c := range cur {
 		s.inter[prefixes[p-1]].Insert(c)
-		s.met.Inserts++
+		s.met.Inserts.Add(1)
 	}
 	for k := p + 1; k < len(s.order); k++ {
 		if len(cur) == 0 {
 			return
 		}
-		s.met.EddyVisits += uint64(len(cur))
+		s.met.EddyVisits.Add(uint64(len(cur)))
 		var next []*tuple.Tuple
 		stem := s.stems[s.order[k]]
 		for _, u := range cur {
@@ -197,7 +197,7 @@ func (s *Stairs) FeedStamped(ev workload.Event, seq, tick uint64) {
 		}
 		for _, c := range next {
 			s.inter[prefixes[k-1]].Insert(c)
-			s.met.Inserts++
+			s.met.Inserts.Add(1)
 		}
 		cur = next
 	}
@@ -210,7 +210,7 @@ func (s *Stairs) FeedStamped(ev workload.Event, seq, tick uint64) {
 }
 
 func (s *Stairs) probe(st *state.Table, t *tuple.Tuple) []*tuple.Tuple {
-	s.met.Probes++
+	s.met.Probes.Add(1)
 	matches := st.Probe(t.Key)
 	out := make([]*tuple.Tuple, 0, len(matches))
 	for _, m := range matches {
@@ -247,7 +247,7 @@ func (s *Stairs) completeLazy(st *state.Table, prefixes []tuple.StreamSet, idx i
 		target := s.inter[prefixes[k]]
 		born := s.born[prefixes[k]]
 		stem := s.stems[s.order[k+1]]
-		s.met.Completions++
+		s.met.Completions.Add(1)
 		for _, l := range entries {
 			if l.Arrival > born {
 				continue
@@ -257,7 +257,7 @@ func (s *Stairs) completeLazy(st *state.Table, prefixes []tuple.StreamSet, idx i
 					continue
 				}
 				target.Insert(tuple.Join(l, r))
-				s.met.CompletedEntries++
+				s.met.CompletedEntries.Add(1)
 			}
 		}
 		if target.MarkAttempted(key) {
@@ -276,14 +276,14 @@ func (s *Stairs) completeLazy(st *state.Table, prefixes []tuple.StreamSet, idx i
 // whose entries for the key were never materialized (the §4.2 rule).
 func (s *Stairs) evict(exp window.Entry) {
 	s.stems[exp.Ref.Stream].RemoveRef(exp.Key, exp.Ref)
-	s.met.Evictions++
+	s.met.Evictions.Add(1)
 	for _, set := range s.prefixSets() {
 		if !set.Has(exp.Ref.Stream) {
 			continue
 		}
 		st := s.inter[set]
 		removed := len(st.RemoveRef(exp.Key, exp.Ref))
-		s.met.Evictions += uint64(removed)
+		s.met.Evictions.Add(uint64(removed))
 		if removed == 0 && !(s.lazy && !st.Complete() && !st.Attempted(exp.Key)) {
 			return
 		}
@@ -348,7 +348,7 @@ func (s *Stairs) promoteAll() {
 			for _, l := range below.Probe(key) {
 				for _, r := range stem.Probe(key) {
 					st.Insert(tuple.Join(l, r))
-					s.met.MigrationWork++
+					s.met.MigrationWork.Add(1)
 				}
 			}
 		}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"time"
+
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Plan is the initial query plan.
+	Plan *plan.Plan
+	// WindowSize is the per-stream sliding window size in tuples
+	// (default 10_000, the paper's setting). Ignored when TimeSpan is
+	// set.
+	WindowSize int
+	// WindowSizes optionally overrides WindowSize per stream (§5
+	// notes the general case of per-stream window sizes). Streams
+	// absent from the map use WindowSize.
+	WindowSizes map[tuple.StreamID]int
+	// TimeSpan, when non-zero, selects time-based sliding windows
+	// instead of count-based ones: a tuple stays live while its
+	// arrival tick is within TimeSpan of the stream's newest tuple.
+	TimeSpan uint64
+	// Kind selects the physical operator for internal nodes
+	// (default HashJoin).
+	Kind Kind
+	// Theta is the join predicate for nested-loops nodes. It receives
+	// the probing tuple and a stored tuple. Required iff Kind is
+	// NLJoin or ThetaNodes is set.
+	Theta func(probe, stored *tuple.Tuple) bool
+	// ThetaNodes builds a hybrid plan (§2.1): with Kind == HashJoin,
+	// join nodes whose output stream set satisfies the predicate run
+	// as nested-loops theta joins, the rest as symmetric hash joins.
+	// A hash join probes its children by key, so a nested-loops node
+	// may not be the child of a hash node — theta joins sit above the
+	// equi-joins, the usual hybrid shape.
+	ThetaNodes func(set tuple.StreamSet) bool
+	// Strategy handles plan transitions (default Static).
+	Strategy Strategy
+	// Output receives root results; may be nil.
+	Output Output
+	// Observer, when non-nil, receives a TransitionEvent after every
+	// plan transition's classification — the observability hook
+	// monitoring and tests use to watch migrations.
+	Observer func(TransitionEvent)
+	// EmitExpiry turns the output into a revision stream for join
+	// pipelines: when a window slide removes results from the root
+	// state, each removal is emitted as a retraction Delta, so
+	// downstream aggregates (§4.7) track the live window instead of
+	// the all-time output. Set-difference pipelines always emit
+	// retractions regardless of this flag.
+	EmitExpiry bool
+	// Now supplies time for latency metrics; defaults to time.Now.
+	// Tests inject a fake clock.
+	Now func() time.Time
+}
+
+// TransitionEvent describes one applied plan transition.
+type TransitionEvent struct {
+	// Old and New are the plans' infix forms.
+	Old, New string
+	// Complete and Incomplete count the new plan's join states by
+	// Definition 1 classification.
+	Complete, Incomplete int
+	// Tick is the arrival tick at which the transition applied.
+	Tick uint64
+}

@@ -8,8 +8,22 @@
 //
 // The engine is deterministic and single-threaded: Feed processes one
 // input tuple to completion before returning, which makes the
-// cross-strategy equivalence tests exact. Package pipeline provides a
-// goroutine-per-operator variant of the same model.
+// cross-strategy equivalence tests exact. Package pipeline provides
+// the concurrent sharded harness around it.
+//
+// File layout (the runtime layer, see DESIGN.md):
+//
+//	engine.go     Engine struct, construction, the feed hot path
+//	config.go     Config and TransitionEvent
+//	operator.go   Kind, Node, the Operator interface, Executor
+//	hashjoin.go   symmetric hash join operator
+//	nljoin.go     nested-loops theta join operator
+//	setdiff.go    streaming set-difference operator
+//	install.go    plan → operator tree construction, state store
+//	transition.go Migrate and the §4.1 buffer-clearing phase
+//	evict.go      bottom-up eviction propagation, §4.3 counters
+//	static.go     the no-migration baseline strategy
+//	scratch.go    per-run scratch allocator (arena tuple builder)
 package engine
 
 import (
@@ -23,59 +37,6 @@ import (
 	"jisc/internal/window"
 	"jisc/internal/workload"
 )
-
-// Kind selects the physical operator implementing internal plan nodes.
-type Kind int
-
-const (
-	// HashJoin is the symmetric hash equi-join of §2.1.
-	HashJoin Kind = iota
-	// NLJoin is the nested-loops join used for general theta joins.
-	NLJoin
-	// SetDiff is the binary set-difference operator of §4.7.
-	SetDiff
-)
-
-func (k Kind) String() string {
-	switch k {
-	case HashJoin:
-		return "hash-join"
-	case NLJoin:
-		return "nl-join"
-	case SetDiff:
-		return "set-difference"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// Delta is an output event at the plan root. Streaming set-difference
-// can retract previously emitted results, so outputs carry a sign;
-// joins only ever emit additions.
-type Delta struct {
-	Tuple *tuple.Tuple
-	// Retraction is true when the result is withdrawn (set-difference
-	// semantics or window expiry at the root).
-	Retraction bool
-}
-
-// Output receives root results.
-type Output func(Delta)
-
-// Executor is the contract shared by every execution strategy in the
-// repository (this engine under JISC/Moving State/static, Parallel
-// Track, CACQ, STAIRs): feed tuples, trigger plan transitions, read
-// metrics. It is what the benchmark harness and the equivalence tests
-// program against.
-type Executor interface {
-	Name() string
-	// Feed processes one input tuple to completion.
-	Feed(ev workload.Event)
-	// Migrate transitions the executor to a new plan.
-	Migrate(p *plan.Plan) error
-	// Metrics returns a snapshot of the executor's counters.
-	Metrics() metrics.Snapshot
-}
 
 // Strategy customizes how the engine behaves around plan transitions.
 // Implementations: Static (no transitions), migrate.MovingState
@@ -103,117 +64,6 @@ type Strategy interface {
 	EvictContinue(e *Engine, j *Node, key tuple.Value) bool
 }
 
-// Node is one physical operator. Exported fields are read-only for
-// strategies; only the engine mutates the tree.
-type Node struct {
-	// Set identifies the streams covered by the node's output state.
-	Set tuple.StreamSet
-	// Stream is the scanned stream when the node is a leaf.
-	Stream tuple.StreamID
-	// Left, Right, Parent wire the operator tree. Leaves have nil
-	// children; the root has a nil parent.
-	Left, Right, Parent *Node
-	// Kind selects the operator implementation for internal nodes.
-	Kind Kind
-
-	// St is the node's output state for hash-based operators.
-	St *state.Table
-	// Ls is the node's output state for nested-loops operators.
-	Ls *state.List
-
-	// CounterSide is the designated child whose distinct keys armed
-	// this node's completion counter (§4.3 Cases 1–2); nil when no
-	// counter is armed (Case 3 or complete state).
-	CounterSide *Node
-
-	// Born is the engine tick at which this node's state was created
-	// empty (i.e. classified incomplete). State completion must only
-	// reconstruct results whose constituents all arrived at or before
-	// Born; later results are produced by normal processing. Born
-	// survives re-installation across overlapped transitions.
-	Born uint64
-
-	// Probes and Matches count lookups against this node's state and
-	// the entries they returned — the per-operator selectivity signal
-	// a runtime optimizer feeds on (the paper treats the transition
-	// trigger policy as orthogonal, §2; package optimizer provides
-	// one). They survive re-installation only while the state itself
-	// survives; fresh states start at zero.
-	Probes, Matches uint64
-}
-
-// IsLeaf reports whether the node is a stream scan.
-func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
-
-// Opposite returns the sibling of child c under n.
-func (n *Node) Opposite(c *Node) *Node {
-	if n.Left == c {
-		return n.Right
-	}
-	return n.Left
-}
-
-// Config parameterizes an Engine.
-type Config struct {
-	// Plan is the initial query plan.
-	Plan *plan.Plan
-	// WindowSize is the per-stream sliding window size in tuples
-	// (default 10_000, the paper's setting). Ignored when TimeSpan is
-	// set.
-	WindowSize int
-	// WindowSizes optionally overrides WindowSize per stream (§5
-	// notes the general case of per-stream window sizes). Streams
-	// absent from the map use WindowSize.
-	WindowSizes map[tuple.StreamID]int
-	// TimeSpan, when non-zero, selects time-based sliding windows
-	// instead of count-based ones: a tuple stays live while its
-	// arrival tick is within TimeSpan of the stream's newest tuple.
-	TimeSpan uint64
-	// Kind selects the physical operator for internal nodes
-	// (default HashJoin).
-	Kind Kind
-	// Theta is the join predicate for nested-loops nodes. It receives
-	// the probing tuple and a stored tuple. Required iff Kind is
-	// NLJoin or ThetaNodes is set.
-	Theta func(probe, stored *tuple.Tuple) bool
-	// ThetaNodes builds a hybrid plan (§2.1): with Kind == HashJoin,
-	// join nodes whose output stream set satisfies the predicate run
-	// as nested-loops theta joins, the rest as symmetric hash joins.
-	// A hash join probes its children by key, so a nested-loops node
-	// may not be the child of a hash node — theta joins sit above the
-	// equi-joins, the usual hybrid shape.
-	ThetaNodes func(set tuple.StreamSet) bool
-	// Strategy handles plan transitions (default Static).
-	Strategy Strategy
-	// Output receives root results; may be nil.
-	Output Output
-	// Observer, when non-nil, receives a TransitionEvent after every
-	// plan transition's classification — the observability hook
-	// monitoring and tests use to watch migrations.
-	Observer func(TransitionEvent)
-	// EmitExpiry turns the output into a revision stream for join
-	// pipelines: when a window slide removes results from the root
-	// state, each removal is emitted as a retraction Delta, so
-	// downstream aggregates (§4.7) track the live window instead of
-	// the all-time output. Set-difference pipelines always emit
-	// retractions regardless of this flag.
-	EmitExpiry bool
-	// Now supplies time for latency metrics; defaults to time.Now.
-	// Tests inject a fake clock.
-	Now func() time.Time
-}
-
-// TransitionEvent describes one applied plan transition.
-type TransitionEvent struct {
-	// Old and New are the plans' infix forms.
-	Old, New string
-	// Complete and Incomplete count the new plan's join states by
-	// Definition 1 classification.
-	Complete, Incomplete int
-	// Tick is the arrival tick at which the transition applied.
-	Tick uint64
-}
-
 // Engine executes one continuous query.
 type Engine struct {
 	cfg     Config
@@ -233,6 +83,7 @@ type Engine struct {
 	out      Output
 	met      metrics.Collector
 	now      func() time.Time
+	scratch  scratch
 
 	// tick is the global arrival counter; transitionTick is the tick
 	// of the most recent plan transition (Definition 2 freshness).
@@ -293,6 +144,7 @@ func New(cfg Config) (*Engine, error) {
 		seqs:        make(map[tuple.StreamID]uint64),
 		lastArrival: make(map[tuple.StreamID]map[tuple.Value]uint64),
 	}
+	e.scratch.init()
 	if err := e.validateKinds(cfg.Plan); err != nil {
 		return nil, err
 	}
@@ -342,7 +194,8 @@ func (e *Engine) Tick() uint64 { return e.tick }
 // TransitionTick returns the tick of the most recent transition.
 func (e *Engine) TransitionTick() uint64 { return e.transitionTick }
 
-// Metrics implements Executor.
+// Metrics implements Executor. The collector is atomic, so this is
+// safe to call from any goroutine, concurrently with Feed.
 func (e *Engine) Metrics() metrics.Snapshot { return e.met.Snapshot() }
 
 // Collector exposes the live metrics collector to strategies.
@@ -354,114 +207,14 @@ func (e *Engine) Kind() Kind { return e.cfg.Kind }
 // Theta returns the theta predicate (NLJoin engines).
 func (e *Engine) Theta() func(probe, stored *tuple.Tuple) bool { return e.cfg.Theta }
 
-// install builds the operator tree for p, attaching surviving states
-// from the store and creating empty incomplete states for new stream
-// sets. initial marks the first installation, where every state starts
-// complete (there is nothing to migrate from).
-func (e *Engine) install(p *plan.Plan, initial bool) {
-	live := make(map[tuple.StreamSet]bool)
-	var build func(n *plan.Node) *Node
-	build = func(n *plan.Node) *Node {
-		set := n.Set()
-		live[set] = true
-		node := &Node{Set: set, Kind: e.nodeKind(set)}
-		if n.IsLeaf() {
-			node.Stream = n.Stream
-			node.Kind = HashJoin // scan windows are always key-hashed
-			e.scans[n.Stream] = node
-			node.St = e.ensureTable(set, initial)
-			return node
-		}
-		node.Left = build(n.Left)
-		node.Right = build(n.Right)
-		node.Left.Parent = node
-		node.Right.Parent = node
-		if node.Kind == NLJoin {
-			node.Ls = e.ensureList(set, initial)
-		} else {
-			node.St = e.ensureTable(set, initial)
-		}
-		node.Born = e.born[set]
-		return node
-	}
-	e.root = build(p.Root)
-	e.plan = p
-	// Discard states whose stream set is not in the new plan.
-	for set := range e.states {
-		if !live[set] {
-			delete(e.states, set)
-			delete(e.born, set)
-		}
-	}
-	for set := range e.lists {
-		if !live[set] {
-			delete(e.lists, set)
-			delete(e.born, set)
-		}
-	}
-}
+// Builder returns the engine's arena-backed tuple builder — the
+// per-run scratch allocator operators and strategies construct
+// composite tuples through.
+func (e *Engine) Builder() *tuple.Builder { return e.scratch.builder() }
 
-func (e *Engine) ensureTable(set tuple.StreamSet, initial bool) *state.Table {
-	if st, ok := e.states[set]; ok {
-		// Surviving state: completeness carries over unchanged
-		// (§4.5: incomplete in the old plan stays incomplete).
-		return st
-	}
-	st := state.NewTable(set)
-	if !initial && set.Count() > 1 {
-		st.MarkIncomplete()
-		e.born[set] = e.tick
-	}
-	e.states[set] = st
-	return st
-}
-
-func (e *Engine) ensureList(set tuple.StreamSet, initial bool) *state.List {
-	if ls, ok := e.lists[set]; ok {
-		return ls
-	}
-	ls := state.NewList(set)
-	if !initial && set.Count() > 1 {
-		ls.MarkIncomplete()
-		e.born[set] = e.tick
-	}
-	e.lists[set] = ls
-	return ls
-}
-
-// ClearBorn forgets the creation tick of set once its state is
-// complete again.
-func (e *Engine) ClearBorn(set tuple.StreamSet) { delete(e.born, set) }
-
-// nodeKind returns the operator kind for the internal node covering
-// set.
-func (e *Engine) nodeKind(set tuple.StreamSet) Kind {
-	if e.cfg.Kind == HashJoin && e.cfg.ThetaNodes != nil && e.cfg.ThetaNodes(set) {
-		return NLJoin
-	}
-	return e.cfg.Kind
-}
-
-// validateKinds rejects plans where a hash join would have a
-// nested-loops child: hash probes need a key index, which list states
-// lack.
-func (e *Engine) validateKinds(p *plan.Plan) error {
-	if e.cfg.ThetaNodes == nil {
-		return nil
-	}
-	var err error
-	p.Root.Walk(func(n *plan.Node) {
-		if err != nil || n.IsLeaf() || e.nodeKind(n.Set()) == NLJoin {
-			return
-		}
-		for _, child := range []*plan.Node{n.Left, n.Right} {
-			if !child.IsLeaf() && e.nodeKind(child.Set()) == NLJoin {
-				err = fmt.Errorf("engine: hash join %v cannot consume nested-loops child %v; theta joins must sit above equi-joins", n.Set(), child.Set())
-			}
-		}
-	})
-	return err
-}
+// Close releases the engine's pooled scratch resources. The engine
+// must not be fed afterwards; tuples it produced stay valid.
+func (e *Engine) Close() { e.scratch.release() }
 
 // Feed implements Executor: enqueue and immediately process ev.
 func (e *Engine) Feed(ev workload.Event) {
@@ -509,7 +262,7 @@ func (e *Engine) processStamped(ev workload.Event, seq, tick uint64) {
 		panic(fmt.Sprintf("engine: tuple for unknown stream %d", ev.Stream))
 	}
 	e.tick = tick
-	e.met.Input++
+	e.met.Input.Add(1)
 	e.seqs[ev.Stream] = seq
 
 	// Definition 2: fresh iff no tuple with this key arrived on this
@@ -523,55 +276,21 @@ func (e *Engine) processStamped(ev workload.Event, seq, tick uint64) {
 		e.evict(scan, expired)
 	}
 
-	t := tuple.NewBase(ev.Stream, seq, ev.Key, e.tick)
+	t := e.scratch.builder().Base(ev.Stream, seq, ev.Key, e.tick)
 	scan.St.Insert(t)
-	e.met.Inserts++
+	e.met.Inserts.Add(1)
 	e.pushUp(scan, t, fresh)
 }
 
 // pushUp delivers t (the freshly produced output of child) to child's
-// parent, performing the join/diff there and recursing upward.
+// parent operator, recursing upward; at the root it emits.
 func (e *Engine) pushUp(child *Node, t *tuple.Tuple, fresh bool) {
 	j := child.Parent
 	if j == nil {
 		e.emit(Delta{Tuple: t})
 		return
 	}
-	switch j.Kind {
-	case HashJoin:
-		e.hashJoin(j, child, t, fresh)
-	case NLJoin:
-		e.nlJoin(j, child, t, fresh)
-	case SetDiff:
-		e.setDiff(j, child, t, fresh)
-	default:
-		panic("engine: unknown operator kind")
-	}
-}
-
-// hashJoin implements Procedure 1 for symmetric hash join. Note one
-// deliberate deviation from the paper's pseudo-code: completion runs
-// whenever a fresh tuple probes an incomplete state, not only when the
-// probe finds nothing. An incomplete state can contain post-transition
-// entries for the probed key (inserted by normal processing of newer
-// tuples) while its pre-transition entries are still missing; probing
-// those partial entries without completing first would lose results.
-// The paper's prose ("a new tuple from R causes a probe to the
-// incomplete State UTS, which triggers a state completion") and its
-// Theorem 1 both require the complete-before-probe order.
-func (e *Engine) hashJoin(j, from *Node, t *tuple.Tuple, fresh bool) {
-	opp := j.Opposite(from)
-	e.strategy.BeforeProbe(e, j, opp, t, fresh)
-	e.met.Probes++
-	matches := opp.St.Probe(t.Key)
-	opp.Probes++
-	opp.Matches += uint64(len(matches))
-	for _, m := range matches {
-		out := tuple.Join(t, m)
-		j.St.Insert(out)
-		e.met.Inserts++
-		e.pushUp(j, out, fresh)
-	}
+	j.Op.Push(e, j, child, t, fresh)
 }
 
 // emit delivers a root result.
@@ -587,86 +306,3 @@ func (e *Engine) emit(d Delta) {
 		e.out(d)
 	}
 }
-
-// Migrate implements Executor: transition to newPlan per §4.1 — clear
-// the input buffers through the old plan, rebuild the operator tree
-// re-attaching surviving states, discard dead states, then let the
-// strategy prepare the rest (eagerly or lazily).
-func (e *Engine) Migrate(newPlan *plan.Plan) error {
-	if newPlan.Streams != e.plan.Streams {
-		return fmt.Errorf("engine: new plan covers %v, old covers %v", newPlan.Streams, e.plan.Streams)
-	}
-	if e.cfg.Kind == SetDiff {
-		if !newPlan.Root.IsLeftDeep() {
-			return fmt.Errorf("engine: set-difference pipelines must be left-deep, got %s", newPlan)
-		}
-		// Reordering inners is a plan change; replacing the outer
-		// changes the query itself (A−B is not B−A).
-		oldOrder, _ := e.plan.Order()
-		newOrder, _ := newPlan.Order()
-		if oldOrder[0] != newOrder[0] {
-			return fmt.Errorf("engine: set-difference outer stream must stay %d, got %d", oldOrder[0], newOrder[0])
-		}
-	}
-	if err := e.validateKinds(newPlan); err != nil {
-		return err
-	}
-	if tr, ok := e.strategy.(TransitionRejector); ok && tr.RejectsTransitions() {
-		return fmt.Errorf("engine: %s strategy does not support plan transitions", e.strategy.Name())
-	}
-	e.met.MarkTransition(e.now())
-	// Buffer-clearing phase: everything received before the
-	// transition is processed through the old plan.
-	e.drain()
-	oldPlan := e.plan.String()
-	e.transitionTick = e.tick
-	e.install(newPlan, false)
-	if err := e.strategy.OnTransition(e); err != nil {
-		return err
-	}
-	if e.cfg.Observer != nil {
-		ev := TransitionEvent{Old: oldPlan, New: newPlan.String(), Tick: e.tick}
-		for _, n := range e.Nodes() {
-			if n.IsLeaf() {
-				continue
-			}
-			if childComplete(n) {
-				ev.Complete++
-			} else {
-				ev.Incomplete++
-			}
-		}
-		e.cfg.Observer(ev)
-	}
-	return nil
-}
-
-// TransitionRejector marks strategies that refuse plan transitions;
-// the engine then rejects Migrate before touching any state.
-type TransitionRejector interface {
-	RejectsTransitions() bool
-}
-
-// Static is the no-migration strategy: a plain symmetric-hash-join (or
-// nested-loops) pipeline. It is the "pure symmetric hash join plan"
-// baseline of Figure 9a. Migrating a Static engine fails before any
-// state is touched.
-type Static struct{}
-
-// RejectsTransitions implements TransitionRejector.
-func (Static) RejectsTransitions() bool { return true }
-
-// Name implements Strategy.
-func (Static) Name() string { return "static" }
-
-// OnTransition implements Strategy; unreachable because Migrate
-// rejects Static transitions up front, kept as a safety net.
-func (Static) OnTransition(*Engine) error {
-	return fmt.Errorf("engine: static strategy does not support plan transitions")
-}
-
-// BeforeProbe implements Strategy (no-op).
-func (Static) BeforeProbe(*Engine, *Node, *Node, *tuple.Tuple, bool) {}
-
-// EvictContinue implements Strategy (standard stop-at-no-match rule).
-func (Static) EvictContinue(*Engine, *Node, tuple.Value) bool { return false }

@@ -18,7 +18,7 @@ func (e *Engine) evict(scan *Node, exp window.Entry) {
 	}
 	// Remove the base tuple from the scan state.
 	scan.St.RemoveRef(exp.Key, exp.Ref)
-	e.met.Evictions++
+	e.met.Evictions.Add(1)
 	e.dropPendingAt(scan, exp.Key)
 
 	for j := scan.Parent; j != nil; j = j.Parent {
@@ -28,7 +28,7 @@ func (e *Engine) evict(scan *Node, exp window.Entry) {
 		} else {
 			removed = j.Ls.RemoveRef(exp.Ref)
 		}
-		e.met.Evictions += uint64(len(removed))
+		e.met.Evictions.Add(uint64(len(removed)))
 		e.dropPendingAt(j, exp.Key)
 		if j.Parent == nil && e.cfg.EmitExpiry {
 			for _, t := range removed {

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"jisc/internal/tuple"
+)
+
+// hashJoinOp implements Procedure 1 for symmetric hash join. Note one
+// deliberate deviation from the paper's pseudo-code: completion runs
+// whenever a fresh tuple probes an incomplete state, not only when the
+// probe finds nothing. An incomplete state can contain post-transition
+// entries for the probed key (inserted by normal processing of newer
+// tuples) while its pre-transition entries are still missing; probing
+// those partial entries without completing first would lose results.
+// The paper's prose ("a new tuple from R causes a probe to the
+// incomplete State UTS, which triggers a state completion") and its
+// Theorem 1 both require the complete-before-probe order.
+type hashJoinOp struct{}
+
+// Kind implements Operator.
+func (hashJoinOp) Kind() Kind { return HashJoin }
+
+// Push implements Operator: probe the opposite child's hash state with
+// t's key, build composites through the engine's scratch builder, and
+// recurse upward.
+func (hashJoinOp) Push(e *Engine, j, from *Node, t *tuple.Tuple, fresh bool) {
+	opp := j.Opposite(from)
+	e.strategy.BeforeProbe(e, j, opp, t, fresh)
+	e.met.Probes.Add(1)
+	matches := opp.St.Probe(t.Key)
+	opp.Probes++
+	opp.Matches += uint64(len(matches))
+	for _, m := range matches {
+		out := e.scratch.builder().Join(t, m)
+		j.St.Insert(out)
+		e.met.Inserts.Add(1)
+		e.pushUp(j, out, fresh)
+	}
+}

@@ -4,15 +4,21 @@ import (
 	"jisc/internal/tuple"
 )
 
-// nlJoin processes tuple t at join j under nested-loops semantics: the
-// opposite child's list state is scanned in full and the configured
-// theta predicate decides matches (§2.1). The strategy hook runs first
-// so lazy migration can complete the opposite state for the probing
-// tuple before the scan.
-func (e *Engine) nlJoin(j, from *Node, t *tuple.Tuple, fresh bool) {
+// nlJoinOp processes tuples under nested-loops semantics: the opposite
+// child's list state is scanned in full and the configured theta
+// predicate decides matches (§2.1). The strategy hook runs first so
+// lazy migration can complete the opposite state for the probing tuple
+// before the scan.
+type nlJoinOp struct{}
+
+// Kind implements Operator.
+func (nlJoinOp) Kind() Kind { return NLJoin }
+
+// Push implements Operator.
+func (nlJoinOp) Push(e *Engine, j, from *Node, t *tuple.Tuple, fresh bool) {
 	opp := j.Opposite(from)
 	e.strategy.BeforeProbe(e, j, opp, t, fresh)
-	e.met.Probes++
+	e.met.Probes.Add(1)
 	pred := e.cfg.Theta
 	// The probe orientation matters to theta predicates: pred is
 	// defined as pred(left-side tuple, right-side tuple) in plan
@@ -20,7 +26,7 @@ func (e *Engine) nlJoin(j, from *Node, t *tuple.Tuple, fresh bool) {
 	// the right child.
 	fromLeft := j.Left == from
 	opp.EachEntry(func(m *tuple.Tuple) bool {
-		e.met.Probes++
+		e.met.Probes.Add(1)
 		var hit bool
 		if fromLeft {
 			hit = pred(t, m)
@@ -28,9 +34,9 @@ func (e *Engine) nlJoin(j, from *Node, t *tuple.Tuple, fresh bool) {
 			hit = pred(m, t)
 		}
 		if hit {
-			out := tuple.JoinTheta(t, m)
+			out := e.scratch.builder().JoinTheta(t, m)
 			j.Ls.Insert(out)
-			e.met.Inserts++
+			e.met.Inserts.Add(1)
 			e.pushUp(j, out, fresh)
 		}
 		return true

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"jisc/internal/tuple"
+)
+
+// scratch is the engine's per-run scratch allocator: an arena-backed
+// tuple builder acquired from the shared pool at construction and
+// threaded through the feed hot path (base-tuple creation in
+// processStamped, composite construction in the operators, state fills
+// in the migration strategies). One builder per engine keeps the
+// arenas single-threaded without locks; the sharded runtime gives each
+// shard its own engine and hence its own scratch.
+type scratch struct {
+	b *tuple.Builder
+}
+
+func (s *scratch) init() { s.b = tuple.AcquireBuilder() }
+
+func (s *scratch) builder() *tuple.Builder { return s.b }
+
+// release returns the builder to the pool. Safe to call more than
+// once; tuples already built stay valid (the pool never recycles
+// handed-out memory).
+func (s *scratch) release() {
+	if s.b != nil {
+		s.b.Release()
+		s.b = nil
+	}
+}

@@ -35,8 +35,14 @@ type DiffCompleter interface {
 	BeforeDiffEvent(e *Engine, j *Node, key tuple.Value, exclude tuple.Ref, haveExclude bool)
 }
 
-// setDiff dispatches an arriving tuple at diff node j.
-func (e *Engine) setDiff(j, from *Node, t *tuple.Tuple, fresh bool) {
+// setDiffOp dispatches arriving tuples at diff nodes.
+type setDiffOp struct{}
+
+// Kind implements Operator.
+func (setDiffOp) Kind() Kind { return SetDiff }
+
+// Push implements Operator.
+func (setDiffOp) Push(e *Engine, j, from *Node, t *tuple.Tuple, fresh bool) {
 	if from == j.Right {
 		e.diffInnerArrival(j, t)
 		return
@@ -47,12 +53,12 @@ func (e *Engine) setDiff(j, from *Node, t *tuple.Tuple, fresh bool) {
 // diffOuterAddition handles a new left-child passing tuple at j: store
 // and propagate it unless the inner stream suppresses its key.
 func (e *Engine) diffOuterAddition(j *Node, t *tuple.Tuple, fresh bool) {
-	e.met.Probes++
+	e.met.Probes.Add(1)
 	if j.Right.St.ContainsKey(t.Key) {
 		return // suppressed: stays visible only in the left child
 	}
 	j.St.Insert(t)
-	e.met.Inserts++
+	e.met.Inserts.Add(1)
 	e.pushUp(j, t, fresh)
 }
 
@@ -63,7 +69,7 @@ func (e *Engine) diffOuterAddition(j *Node, t *tuple.Tuple, fresh bool) {
 // so the books reflect the instant before this event and the moves
 // below produce the right retractions.
 func (e *Engine) diffInnerArrival(j *Node, b *tuple.Tuple) {
-	e.met.Probes++
+	e.met.Probes.Add(1)
 	e.materializeDiffKey(j, b.Key, b.Refs[0], true)
 	for _, t := range j.St.RemoveKey(b.Key) {
 		e.retractDiff(j, t)
@@ -104,7 +110,7 @@ func (e *Engine) retractDiff(below *Node, t *tuple.Tuple) {
 
 // setDiffEvict handles window expiry in a set-difference pipeline.
 func (e *Engine) setDiffEvict(scan *Node, exp window.Entry) {
-	e.met.Evictions++
+	e.met.Evictions.Add(1)
 	j := scan.Parent
 	if j != nil && j.Right == scan {
 		e.diffInnerExpiry(j, scan, exp)
@@ -144,7 +150,7 @@ func (e *Engine) diffInnerExpiry(j, scan *Node, exp window.Entry) {
 			continue
 		}
 		j.St.Insert(t)
-		e.met.Inserts++
+		e.met.Inserts.Add(1)
 		e.pushUp(j, t, false)
 	}
 	if !j.St.Complete() {

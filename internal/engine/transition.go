@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"fmt"
+
+	"jisc/internal/plan"
+)
+
+// Migrate implements Executor: transition to newPlan per §4.1 — clear
+// the input buffers through the old plan, rebuild the operator tree
+// re-attaching surviving states, discard dead states, then let the
+// strategy prepare the rest (eagerly or lazily).
+func (e *Engine) Migrate(newPlan *plan.Plan) error {
+	if newPlan.Streams != e.plan.Streams {
+		return fmt.Errorf("engine: new plan covers %v, old covers %v", newPlan.Streams, e.plan.Streams)
+	}
+	if e.cfg.Kind == SetDiff {
+		if !newPlan.Root.IsLeftDeep() {
+			return fmt.Errorf("engine: set-difference pipelines must be left-deep, got %s", newPlan)
+		}
+		// Reordering inners is a plan change; replacing the outer
+		// changes the query itself (A−B is not B−A).
+		oldOrder, _ := e.plan.Order()
+		newOrder, _ := newPlan.Order()
+		if oldOrder[0] != newOrder[0] {
+			return fmt.Errorf("engine: set-difference outer stream must stay %d, got %d", oldOrder[0], newOrder[0])
+		}
+	}
+	if err := e.validateKinds(newPlan); err != nil {
+		return err
+	}
+	if tr, ok := e.strategy.(TransitionRejector); ok && tr.RejectsTransitions() {
+		return fmt.Errorf("engine: %s strategy does not support plan transitions", e.strategy.Name())
+	}
+	e.met.MarkTransition(e.now())
+	// Buffer-clearing phase: everything received before the
+	// transition is processed through the old plan.
+	e.drain()
+	oldPlan := e.plan.String()
+	e.transitionTick = e.tick
+	e.install(newPlan, false)
+	if err := e.strategy.OnTransition(e); err != nil {
+		return err
+	}
+	if e.cfg.Observer != nil {
+		ev := TransitionEvent{Old: oldPlan, New: newPlan.String(), Tick: e.tick}
+		for _, n := range e.Nodes() {
+			if n.IsLeaf() {
+				continue
+			}
+			if childComplete(n) {
+				ev.Complete++
+			} else {
+				ev.Incomplete++
+			}
+		}
+		e.cfg.Observer(ev)
+	}
+	return nil
+}
+
+// TransitionRejector marks strategies that refuse plan transitions;
+// the engine then rejects Migrate before touching any state.
+type TransitionRejector interface {
+	RejectsTransitions() bool
+}

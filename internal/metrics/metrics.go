@@ -3,75 +3,99 @@
 // operation, output latency after a transition, and the bookkeeping
 // counters (probes, completions, duplicate eliminations) used by the
 // ablation benches.
+//
+// Counters are lock-free atomics, so a Collector owned by an executor
+// goroutine can be snapshotted concurrently from any other goroutine —
+// monitoring never round-trips through the executor's control channel.
+// The latency samples (a slice) are guarded by a small mutex taken
+// only on transition, on the first output after one, and on Snapshot.
 package metrics
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Collector accumulates counters and transition timing for one
-// executor run. The zero value is ready to use.
+// executor run. The zero value is ready to use. Counter increments are
+// atomic; a Collector must not be copied after first use.
 type Collector struct {
 	// Input counts tuples fed into the executor.
-	Input uint64
+	Input atomic.Uint64
 	// Output counts result tuples emitted at the root.
-	Output uint64
+	Output atomic.Uint64
 	// Probes counts hash/list probes performed by join operators.
-	Probes uint64
+	Probes atomic.Uint64
 	// Inserts counts state insertions.
-	Inserts uint64
+	Inserts atomic.Uint64
 	// Completions counts on-demand state-completion invocations (JISC).
-	Completions uint64
+	Completions atomic.Uint64
 	// CompletedEntries counts tuples materialized by state completion.
-	CompletedEntries uint64
+	CompletedEntries atomic.Uint64
 	// Evictions counts window-expiry removals applied to states.
-	Evictions uint64
+	Evictions atomic.Uint64
 	// DupDropped counts outputs suppressed by duplicate elimination
 	// (Parallel Track).
-	DupDropped uint64
+	DupDropped atomic.Uint64
 	// EddyVisits counts tuple passes through the eddy router (CACQ,
 	// STAIRs).
-	EddyVisits uint64
+	EddyVisits atomic.Uint64
 	// Transitions counts plan transitions applied.
-	Transitions uint64
+	Transitions atomic.Uint64
 	// MigrationWork counts tuples (re)processed solely because of a
 	// migration strategy (e.g. eager moving-state joins, parallel
 	// track double-processing).
-	MigrationWork uint64
+	MigrationWork atomic.Uint64
 
-	// transitionAt is the wall-clock instant of the most recent
-	// transition; firstOutputAfter records the latency to the first
-	// root output after it (§6.3).
-	transitionAt     time.Time
-	awaitingOutput   bool
-	OutputLatencies  []time.Duration
-	transitionActive bool
+	// mu guards the transition-to-first-output latency bookkeeping
+	// (§6.3); counters above are deliberately outside it.
+	mu             sync.Mutex
+	transitionAt   time.Time
+	awaitingOutput bool
+	latencies      []time.Duration
 }
 
 // MarkTransition records that a plan transition was triggered now.
 func (c *Collector) MarkTransition(now time.Time) {
-	c.Transitions++
+	c.Transitions.Add(1)
+	c.mu.Lock()
 	c.transitionAt = now
 	c.awaitingOutput = true
+	c.mu.Unlock()
 }
 
 // MarkOutput records a root output at time now; the first one after a
 // transition closes the output-latency measurement.
 func (c *Collector) MarkOutput(now time.Time) {
-	c.Output++
+	c.Output.Add(1)
+	c.mu.Lock()
 	if c.awaitingOutput {
-		c.OutputLatencies = append(c.OutputLatencies, now.Sub(c.transitionAt))
+		c.latencies = append(c.latencies, now.Sub(c.transitionAt))
 		c.awaitingOutput = false
 	}
+	c.mu.Unlock()
+}
+
+// OutputLatencies returns a copy of the recorded transition-to-first-
+// output latencies.
+func (c *Collector) OutputLatencies() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.latencies))
+	copy(out, c.latencies)
+	return out
 }
 
 // MaxOutputLatency returns the largest recorded transition-to-first-
 // output latency, or zero when none was recorded.
 func (c *Collector) MaxOutputLatency() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var m time.Duration
-	for _, d := range c.OutputLatencies {
+	for _, d := range c.latencies {
 		if d > m {
 			m = d
 		}
@@ -88,17 +112,56 @@ type Snapshot struct {
 	OutputLatencies                          []time.Duration
 }
 
-// Snapshot copies the current counters.
+// Snapshot copies the current counters. It is safe to call from any
+// goroutine, concurrently with counter updates.
 func (c *Collector) Snapshot() Snapshot {
-	lat := make([]time.Duration, len(c.OutputLatencies))
-	copy(lat, c.OutputLatencies)
 	return Snapshot{
-		Input: c.Input, Output: c.Output, Probes: c.Probes, Inserts: c.Inserts,
-		Completions: c.Completions, CompletedEntries: c.CompletedEntries,
-		Evictions: c.Evictions, DupDropped: c.DupDropped, EddyVisits: c.EddyVisits,
-		Transitions: c.Transitions, MigrationWork: c.MigrationWork,
+		Input: c.Input.Load(), Output: c.Output.Load(),
+		Probes: c.Probes.Load(), Inserts: c.Inserts.Load(),
+		Completions: c.Completions.Load(), CompletedEntries: c.CompletedEntries.Load(),
+		Evictions: c.Evictions.Load(), DupDropped: c.DupDropped.Load(),
+		EddyVisits: c.EddyVisits.Load(), Transitions: c.Transitions.Load(),
+		MigrationWork:   c.MigrationWork.Load(),
+		OutputLatencies: c.OutputLatencies(),
+	}
+}
+
+// Add returns the element-wise sum of s and o, with latency samples
+// appended — the merge used to aggregate per-shard snapshots. The
+// Transitions counter is summed like the rest; callers merging shards
+// that migrate in lockstep (every shard applies the same transition)
+// should divide by the shard count or use MergeShards.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	lat := make([]time.Duration, 0, len(s.OutputLatencies)+len(o.OutputLatencies))
+	lat = append(lat, s.OutputLatencies...)
+	lat = append(lat, o.OutputLatencies...)
+	return Snapshot{
+		Input: s.Input + o.Input, Output: s.Output + o.Output,
+		Probes: s.Probes + o.Probes, Inserts: s.Inserts + o.Inserts,
+		Completions: s.Completions + o.Completions, CompletedEntries: s.CompletedEntries + o.CompletedEntries,
+		Evictions: s.Evictions + o.Evictions, DupDropped: s.DupDropped + o.DupDropped,
+		EddyVisits: s.EddyVisits + o.EddyVisits, Transitions: s.Transitions + o.Transitions,
+		MigrationWork:   s.MigrationWork + o.MigrationWork,
 		OutputLatencies: lat,
 	}
+}
+
+// MergeShards aggregates per-shard snapshots of one sharded executor:
+// tuple and work counters sum, while Transitions — identical on every
+// shard because migrations fan out to all of them — is taken from the
+// maximum rather than summed.
+func MergeShards(shards []Snapshot) Snapshot {
+	var total Snapshot
+	var transitions uint64
+	for _, s := range shards {
+		if s.Transitions > transitions {
+			transitions = s.Transitions
+		}
+		s.Transitions = 0
+		total = total.Add(s)
+	}
+	total.Transitions = transitions
+	return total
 }
 
 func (s Snapshot) String() string {

@@ -55,6 +55,7 @@ func (MovingState) OnTransition(e *engine.Engine) error {
 // e.Nodes(), so child states are already complete here.
 func fillJoin(e *engine.Engine, n *engine.Node) {
 	met := e.Collector()
+	bld := e.Builder()
 	// Iterate the side with fewer distinct keys; Join output is
 	// orientation-independent (provenance is canonicalized).
 	small, big := n.Left.St, n.Right.St
@@ -64,8 +65,8 @@ func fillJoin(e *engine.Engine, n *engine.Node) {
 	for _, key := range small.Keys() {
 		for _, l := range small.Probe(key) {
 			for _, r := range big.Probe(key) {
-				n.St.Insert(tuple.Join(l, r))
-				met.MigrationWork++
+				n.St.Insert(bld.Join(l, r))
+				met.MigrationWork.Add(1)
 			}
 		}
 	}
@@ -75,12 +76,13 @@ func fillJoin(e *engine.Engine, n *engine.Node) {
 // children may be hash-join nodes; EachEntry abstracts the state type.
 func fillNL(e *engine.Engine, n *engine.Node) {
 	met := e.Collector()
+	bld := e.Builder()
 	pred := e.Theta()
 	n.Left.EachEntry(func(l *tuple.Tuple) bool {
 		n.Right.EachEntry(func(r *tuple.Tuple) bool {
-			met.MigrationWork++
+			met.MigrationWork.Add(1)
 			if pred(l, r) {
-				n.Ls.Insert(tuple.JoinTheta(l, r))
+				n.Ls.Insert(bld.JoinTheta(l, r))
 			}
 			return true
 		})
@@ -93,13 +95,13 @@ func fillNL(e *engine.Engine, n *engine.Node) {
 func fillDiff(e *engine.Engine, n *engine.Node) {
 	met := e.Collector()
 	for _, key := range n.Left.St.Keys() {
-		met.MigrationWork++
+		met.MigrationWork.Add(1)
 		if n.Right.St.ContainsKey(key) {
 			continue
 		}
 		for _, t := range n.Left.St.Probe(key) {
 			n.St.Insert(t)
-			met.MigrationWork++
+			met.MigrationWork.Add(1)
 		}
 	}
 }

@@ -161,7 +161,7 @@ func (pt *ParallelTrack) emit(tr *track, d engine.Delta) {
 	if len(pt.tracks) > 1 {
 		fp := d.Tuple.Fingerprint()
 		if _, dup := pt.seen[fp]; dup {
-			pt.met.DupDropped++
+			pt.met.DupDropped.Add(1)
 			return
 		}
 		pt.seen[fp] = struct{}{}
@@ -177,13 +177,13 @@ func (pt *ParallelTrack) emit(tr *track, d engine.Delta) {
 // Processing beyond the newest track is migration work.
 func (pt *ParallelTrack) Feed(ev workload.Event) {
 	pt.inputs++
-	pt.met.Input++
+	pt.met.Input.Add(1)
 	seq := pt.seqs[ev.Stream] + 1
 	pt.seqs[ev.Stream] = seq
 	for i, tr := range pt.tracks {
 		tr.eng.FeedStamped(ev, seq, pt.inputs)
 		if i < len(pt.tracks)-1 {
-			pt.met.MigrationWork++
+			pt.met.MigrationWork.Add(1)
 		}
 	}
 	if len(pt.tracks) > 1 && pt.inputs%pt.checkEvery == 0 {
@@ -227,7 +227,7 @@ func (pt *ParallelTrack) discardCheck() {
 				continue
 			}
 			old += n.St.CountOld(tr.supersededAt, func(t *tuple.Tuple) uint64 { return t.Oldest })
-			pt.met.MigrationWork += uint64(n.St.Size()) // scan cost
+			pt.met.MigrationWork.Add(uint64(n.St.Size())) // scan cost
 		}
 		if old > 0 {
 			kept = append(kept, tr)

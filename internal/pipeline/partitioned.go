@@ -1,61 +1,24 @@
 package pipeline
 
 import (
-	"fmt"
-	"sync"
-
-	"jisc/internal/engine"
-	"jisc/internal/metrics"
-	"jisc/internal/plan"
-	"jisc/internal/workload"
+	"jisc/internal/runtime"
 )
 
-// Partitioned scales one continuous equi-join query across worker
-// goroutines by hash-partitioning the join key: tuples with equal keys
-// land on the same partition, and since every join in the query
-// matches on that key, partitions never need to exchange state. Each
-// partition is a full Runner (engine + input queue); plan transitions
-// fan out to all partitions, each of which migrates independently
-// under the configured strategy — JISC's lazy completion then
-// proceeds per partition, on that partition's keys only.
-//
-// Windows are per partition: a count window of W tuples bounds each
-// partition's per-stream state separately (the usual semantics of
-// hash-partitioned stream processors). With eviction-free horizons
-// (windows larger than the data) the output multiset is identical to
-// a single-engine run; the tests assert exactly that.
-type Partitioned struct {
-	parts []*Runner
+// Partitioned is the historical name of the sharded runtime. See
+// runtime.Runtime for the semantics (key-hash routing, per-shard
+// windows, fan-out migration, merged metrics).
+type Partitioned = runtime.Runtime
 
-	outMu sync.Mutex
-}
-
-// NewPartitioned builds `parts` runners. cfg.Engine.Output, if set, is
-// serialized across partitions. cfg.QueueSize applies per partition.
+// NewPartitioned builds `parts` shards. cfg.Engine.Output, if set, is
+// serialized across shards. cfg.QueueSize applies per shard.
 func NewPartitioned(cfg Config, parts int) (*Partitioned, error) {
+	cfg.Shards = parts
 	if parts <= 0 {
-		return nil, fmt.Errorf("pipeline: need at least 1 partition, got %d", parts)
+		// Preserve the historical contract: zero shards is an error
+		// here, not a default.
+		cfg.Shards = -1
 	}
-	p := &Partitioned{}
-	userOut := cfg.Engine.Output
-	if userOut != nil {
-		cfg.Engine.Output = func(d engine.Delta) {
-			p.outMu.Lock()
-			userOut(d)
-			p.outMu.Unlock()
-		}
-	}
-	for i := 0; i < parts; i++ {
-		r, err := New(cfg)
-		if err != nil {
-			for _, prev := range p.parts {
-				prev.Close()
-			}
-			return nil, err
-		}
-		p.parts = append(p.parts, r)
-	}
-	return p, nil
+	return runtime.New(cfg)
 }
 
 // MustNewPartitioned is NewPartitioned but panics on error.
@@ -65,68 +28,4 @@ func MustNewPartitioned(cfg Config, parts int) *Partitioned {
 		panic(err)
 	}
 	return p
-}
-
-// Partitions returns the partition count.
-func (p *Partitioned) Partitions() int { return len(p.parts) }
-
-// route picks the partition for a join key. Fibonacci hashing spreads
-// sequential keys.
-func (p *Partitioned) route(ev workload.Event) *Runner {
-	h := uint64(ev.Key) * 0x9E3779B97F4A7C15
-	return p.parts[h%uint64(len(p.parts))]
-}
-
-// Feed enqueues one tuple on its key's partition.
-func (p *Partitioned) Feed(ev workload.Event) error { return p.route(ev).Feed(ev) }
-
-// Migrate transitions every partition to the new plan, in-band per
-// partition. It returns the first error; partitions that already
-// migrated stay on the new plan (they run the same strategy, so a
-// retry converges).
-func (p *Partitioned) Migrate(pl *plan.Plan) error {
-	for _, r := range p.parts {
-		if err := r.Migrate(pl); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Flush waits for every partition to drain.
-func (p *Partitioned) Flush() error {
-	for _, r := range p.parts {
-		if err := r.Flush(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Metrics aggregates the partition counters.
-func (p *Partitioned) Metrics() (metrics.Snapshot, error) {
-	var total metrics.Snapshot
-	for _, r := range p.parts {
-		s, err := r.Metrics()
-		if err != nil {
-			return metrics.Snapshot{}, err
-		}
-		total.Input += s.Input
-		total.Output += s.Output
-		total.Probes += s.Probes
-		total.Inserts += s.Inserts
-		total.Completions += s.Completions
-		total.CompletedEntries += s.CompletedEntries
-		total.Evictions += s.Evictions
-		total.Transitions = s.Transitions // same on every partition
-		total.OutputLatencies = append(total.OutputLatencies, s.OutputLatencies...)
-	}
-	return total, nil
-}
-
-// Close stops every partition.
-func (p *Partitioned) Close() {
-	for _, r := range p.parts {
-		r.Close()
-	}
 }

@@ -87,19 +87,120 @@ func TestPartitionedMatchesSingleEngine(t *testing.T) {
 	}
 }
 
-func TestPartitionedKeyAffinity(t *testing.T) {
+func TestPartitionedShardCount(t *testing.T) {
+	// Key-routing affinity itself is covered in internal/runtime,
+	// where the router lives.
 	pp := MustNewPartitioned(Config{Engine: engine.Config{
 		Plan: plan.MustLeftDeep(0, 1), WindowSize: 100,
 	}}, 3)
 	defer pp.Close()
-	// Same key must always land on the same partition.
-	a := pp.route(workload.Event{Stream: 0, Key: 42})
-	b := pp.route(workload.Event{Stream: 1, Key: 42})
-	if a != b {
-		t.Fatal("same key routed to different partitions")
-	}
 	if pp.Partitions() != 3 {
 		t.Fatalf("Partitions = %d", pp.Partitions())
+	}
+}
+
+// TestPartitionedConcurrentEquivalence is the strong form of the
+// equivalence check: one producer goroutine per stream feeds the
+// partitioned runtime while a plan transition lands mid-stream, and
+// the per-key output counts must still equal a single-threaded
+// engine's. With eviction-free windows a symmetric hash join emits
+// every matching combination exactly once — when its last constituent
+// arrives — so the output multiset is independent of arrival
+// interleaving and of the transition point, as long as migration loses
+// and duplicates nothing (Theorem 1). Run under -race this also
+// exercises the router, the per-shard engines, and the merged metrics
+// concurrently.
+func TestPartitionedConcurrentEquivalence(t *testing.T) {
+	const (
+		streams = 3
+		perStr  = 300
+		domain  = 10
+		window  = streams * perStr // eviction-free
+	)
+	// Fixed per-stream key sequences so both runs see the same data.
+	keyOf := func(s tuple.StreamID, i int) tuple.Value {
+		return tuple.Value((i*7 + int(s)*3) % domain)
+	}
+
+	// Single-threaded reference: round-robin arrival, transition in
+	// the middle.
+	single := map[tuple.Value]int{}
+	se := engine.MustNew(engine.Config{
+		Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: window, Strategy: core.New(),
+		Output: func(d engine.Delta) { single[d.Tuple.Key]++ },
+	})
+	target := plan.MustLeftDeep(2, 0, 1)
+	for i := 0; i < perStr; i++ {
+		if i == perStr/2 {
+			if err := se.Migrate(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := tuple.StreamID(0); s < streams; s++ {
+			se.Feed(workload.Event{Stream: s, Key: keyOf(s, i)})
+		}
+	}
+
+	// Partitioned run: one producer per stream, migration fired from
+	// the main goroutine while they are in flight.
+	parts := map[tuple.Value]int{}
+	var mu sync.Mutex
+	pp := MustNewPartitioned(Config{
+		Engine: engine.Config{
+			Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: window, Strategy: core.New(),
+			Output: func(d engine.Delta) {
+				mu.Lock()
+				parts[d.Tuple.Key]++
+				mu.Unlock()
+			},
+		},
+		QueueSize: 32, // small queues so producers and workers overlap
+	}, 4)
+	defer pp.Close()
+
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for s := tuple.StreamID(0); s < streams; s++ {
+		wg.Add(1)
+		go func(s tuple.StreamID) {
+			defer wg.Done()
+			<-release
+			for i := 0; i < perStr; i++ {
+				if err := pp.Feed(workload.Event{Stream: s, Key: keyOf(s, i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	close(release)
+	if err := pp.Migrate(target); err != nil { // mid-stream: producers are live
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := pp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, want := range single {
+		if parts[key] != want {
+			t.Fatalf("key %d: single %d vs partitioned %d results", key, want, parts[key])
+		}
+	}
+	for key := range parts {
+		if _, ok := single[key]; !ok {
+			t.Fatalf("key %d produced only by the partitioned run", key)
+		}
+	}
+	m, err := pp.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Input != streams*perStr {
+		t.Fatalf("merged Input = %d, want %d", m.Input, streams*perStr)
+	}
+	if m.Transitions != 1 {
+		t.Fatalf("merged Transitions = %d, want 1", m.Transitions)
 	}
 }
 

@@ -1,256 +1,37 @@
-// Package pipeline provides the concurrent execution harness around
-// the deterministic engine: a worker goroutine owns the operator
-// pipeline, and a buffered channel plays the role of the §2.1 input
-// queues. Producers feed tuples asynchronously (from any number of
-// goroutines); plan transitions are submitted as in-band control
-// messages, so every tuple that was enqueued before the transition is
-// processed through the old plan first — the channel itself realizes
-// the §4.1 buffer-clearing phase.
-//
-// The harness makes the paper's latency story observable with real
-// wall-clock concurrency: under a lazy strategy (core.JISC) the worker
-// keeps emitting results throughout a transition, while an eager
-// strategy (migrate.MovingState) stalls the worker and the queue
-// grows — exactly the input-buffer-overflow risk §3.2 warns about.
+// Package pipeline re-exports the unified execution runtime (package
+// runtime) under its historical names: Runner for the single-worker
+// harness, Partitioned for the hash-sharded one. New code should
+// construct runtime.Runtime directly; this package exists so older
+// call sites and the public wrappers keep compiling unchanged.
 package pipeline
 
 import (
-	"errors"
-	"fmt"
-	"io"
-	"sync"
-	"sync/atomic"
-
-	"jisc/internal/engine"
-	"jisc/internal/metrics"
-	"jisc/internal/plan"
-	"jisc/internal/workload"
+	"jisc/internal/runtime"
 )
 
 // ErrClosed is returned by Runner methods after Close.
-var ErrClosed = errors.New("pipeline: runner closed")
-
-type msgKind int
-
-const (
-	msgFeed msgKind = iota
-	msgMigrate
-	msgFlush
-	msgMetrics
-	msgPlan
-	msgCheckpoint
-)
-
-type message struct {
-	kind    msgKind
-	ev      workload.Event
-	migrate *plan.Plan
-	done    chan error
-	snap    chan metrics.Snapshot
-	planCh  chan *plan.Plan
-	ckptW   io.Writer
-}
+var ErrClosed = runtime.ErrClosed
 
 // Runner executes one continuous query on a dedicated worker
-// goroutine. All methods are safe for concurrent use.
-type Runner struct {
-	in       chan message
-	worker   sync.WaitGroup
-	overflow Overflow
-	shed     atomic.Uint64
+// goroutine. See runtime.Runner.
+type Runner = runtime.Runner
 
-	mu     sync.Mutex
-	closed bool
-	eng    *engine.Engine
-}
+// Config parameterizes a Runner (its Shards field applies only to
+// Partitioned/runtime.Runtime). See runtime.Config.
+type Config = runtime.Config
 
 // Overflow selects what Feed does when the input queue is full.
-type Overflow int
+type Overflow = runtime.Overflow
 
 const (
 	// Block applies backpressure: Feed waits for queue space.
-	Block Overflow = iota
-	// Shed drops the newest tuple instead of blocking — the "tuple
-	// load shedding ... when tuples overflow the input buffers" that
-	// §2.1 mentions as the alternative to halting. Shed tuples are
-	// counted (Runner.Shed) and simply never existed as far as the
-	// query is concerned.
-	Shed
+	Block = runtime.Block
+	// Shed drops the newest tuple instead of blocking.
+	Shed = runtime.Shed
 )
 
-// Config parameterizes a Runner.
-type Config struct {
-	// Engine configures the wrapped engine. Engine.Output is invoked
-	// on the worker goroutine.
-	Engine engine.Config
-	// QueueSize is the input-queue capacity (default 1024). Feed
-	// blocks when the queue is full — the backpressure equivalent of
-	// the paper's buffer-overflow discussion.
-	QueueSize int
-	// Overflow selects blocking backpressure (default) or load
-	// shedding when the queue is full. Control messages (Migrate,
-	// Flush, Metrics) always block; only tuples are shed.
-	Overflow Overflow
-}
-
 // New builds and starts a Runner.
-func New(cfg Config) (*Runner, error) {
-	if cfg.QueueSize == 0 {
-		cfg.QueueSize = 1024
-	}
-	if cfg.QueueSize < 0 {
-		return nil, fmt.Errorf("pipeline: negative queue size %d", cfg.QueueSize)
-	}
-	eng, err := engine.New(cfg.Engine)
-	if err != nil {
-		return nil, err
-	}
-	r := &Runner{
-		in:       make(chan message, cfg.QueueSize),
-		overflow: cfg.Overflow,
-		eng:      eng,
-	}
-	r.worker.Add(1)
-	go r.loop()
-	return r, nil
-}
+func New(cfg Config) (*Runner, error) { return runtime.NewRunner(cfg) }
 
 // MustNew is New but panics on error.
-func MustNew(cfg Config) *Runner {
-	r, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
-func (r *Runner) loop() {
-	defer r.worker.Done()
-	for msg := range r.in {
-		switch msg.kind {
-		case msgFeed:
-			r.eng.Feed(msg.ev)
-		case msgMigrate:
-			// Every tuple enqueued before this control message has
-			// already been processed through the old plan: channel
-			// order is the buffer-clearing phase.
-			msg.done <- r.eng.Migrate(msg.migrate)
-		case msgFlush:
-			msg.done <- nil
-		case msgMetrics:
-			msg.snap <- r.eng.Metrics()
-		case msgPlan:
-			msg.planCh <- r.eng.Plan()
-		case msgCheckpoint:
-			msg.done <- r.eng.Checkpoint(msg.ckptW)
-		}
-	}
-}
-
-// send enqueues a message unless the runner is closed.
-func (r *Runner) send(m message) error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return ErrClosed
-	}
-	// Holding mu during the channel send keeps Close from closing the
-	// channel under a concurrent sender.
-	defer r.mu.Unlock()
-	r.in <- m
-	return nil
-}
-
-// Feed enqueues one tuple. Under the Block policy it waits while the
-// input queue is full; under Shed it drops the tuple instead (counted
-// by Shed). Returns ErrClosed after Close.
-func (r *Runner) Feed(ev workload.Event) error {
-	if r.overflow == Shed {
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		if r.closed {
-			return ErrClosed
-		}
-		select {
-		case r.in <- message{kind: msgFeed, ev: ev}:
-		default:
-			r.shed.Add(1)
-		}
-		return nil
-	}
-	return r.send(message{kind: msgFeed, ev: ev})
-}
-
-// Shed returns the number of tuples dropped by the Shed overflow
-// policy.
-func (r *Runner) Shed() uint64 { return r.shed.Load() }
-
-// Migrate submits a plan transition in-band and waits until the worker
-// has applied it. Tuples enqueued before the call are processed by the
-// old plan; tuples enqueued after it by the new plan.
-func (r *Runner) Migrate(p *plan.Plan) error {
-	done := make(chan error, 1)
-	if err := r.send(message{kind: msgMigrate, migrate: p, done: done}); err != nil {
-		return err
-	}
-	return <-done
-}
-
-// Flush blocks until every message enqueued before the call has been
-// fully processed.
-func (r *Runner) Flush() error {
-	done := make(chan error, 1)
-	if err := r.send(message{kind: msgFlush, done: done}); err != nil {
-		return err
-	}
-	return <-done
-}
-
-// QueueLen returns the number of queued, unprocessed messages — the
-// input-buffer occupancy §3.2's overflow discussion is about.
-func (r *Runner) QueueLen() int { return len(r.in) }
-
-// Metrics snapshots the engine counters on the worker, after all
-// previously enqueued messages.
-func (r *Runner) Metrics() (metrics.Snapshot, error) {
-	snap := make(chan metrics.Snapshot, 1)
-	if err := r.send(message{kind: msgMetrics, snap: snap}); err != nil {
-		return metrics.Snapshot{}, err
-	}
-	return <-snap, nil
-}
-
-// Checkpoint serializes the engine's state to w on the worker, after
-// all previously enqueued messages — a consistent snapshot without
-// stopping producers (they block on the queue at most briefly).
-func (r *Runner) Checkpoint(w io.Writer) error {
-	done := make(chan error, 1)
-	if err := r.send(message{kind: msgCheckpoint, ckptW: w, done: done}); err != nil {
-		return err
-	}
-	return <-done
-}
-
-// Plan returns the currently executing plan, observed on the worker
-// after all previously enqueued messages.
-func (r *Runner) Plan() (*plan.Plan, error) {
-	ch := make(chan *plan.Plan, 1)
-	if err := r.send(message{kind: msgPlan, planCh: ch}); err != nil {
-		return nil, err
-	}
-	return <-ch, nil
-}
-
-// Close drains the queue, stops the worker, and returns once all
-// processing has finished. Close is idempotent.
-func (r *Runner) Close() {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return
-	}
-	r.closed = true
-	close(r.in)
-	r.mu.Unlock()
-	r.worker.Wait()
-}
+func MustNew(cfg Config) *Runner { return runtime.MustNewRunner(cfg) }

@@ -1,0 +1,271 @@
+// Package runtime is the unified execution entry point around the
+// deterministic engine: config → N shards → router → merged
+// metrics/output. A Runner is one worker goroutine owning one engine
+// behind a buffered input queue (the §2.1 input buffers); a Runtime
+// hash-partitions a query across N Runners, fans plan transitions out
+// to every shard, and merges their metrics without control-channel
+// round trips (the collectors are atomic). cmd/jiscd, cmd/jiscbench,
+// and internal/server all construct this entry point; package pipeline
+// re-exports it under its historical names.
+//
+// The harness makes the paper's latency story observable with real
+// wall-clock concurrency: under a lazy strategy (core.JISC) the worker
+// keeps emitting results throughout a transition, while an eager
+// strategy (migrate.MovingState) stalls the worker and the queue
+// grows — exactly the input-buffer-overflow risk §3.2 warns about.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"jisc/internal/engine"
+	"jisc/internal/metrics"
+	"jisc/internal/plan"
+	"jisc/internal/workload"
+)
+
+// ErrClosed is returned by Runner and Runtime methods after Close.
+var ErrClosed = errors.New("runtime: runner closed")
+
+type msgKind int
+
+const (
+	msgFeed msgKind = iota
+	msgMigrate
+	msgFlush
+	msgMetrics
+	msgPlan
+	msgCheckpoint
+)
+
+type message struct {
+	kind    msgKind
+	ev      workload.Event
+	migrate *plan.Plan
+	done    chan error
+	snap    chan metrics.Snapshot
+	planCh  chan *plan.Plan
+	ckptW   io.Writer
+}
+
+// Runner executes one continuous query on a dedicated worker
+// goroutine. All methods are safe for concurrent use.
+type Runner struct {
+	in       chan message
+	worker   sync.WaitGroup
+	overflow Overflow
+	shed     atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+	eng    *engine.Engine
+}
+
+// Overflow selects what Feed does when the input queue is full.
+type Overflow int
+
+const (
+	// Block applies backpressure: Feed waits for queue space.
+	Block Overflow = iota
+	// Shed drops the newest tuple instead of blocking — the "tuple
+	// load shedding ... when tuples overflow the input buffers" that
+	// §2.1 mentions as the alternative to halting. Shed tuples are
+	// counted (Runner.Shed) and simply never existed as far as the
+	// query is concerned.
+	Shed
+)
+
+// Config parameterizes a Runner or a Runtime.
+type Config struct {
+	// Engine configures the wrapped engine(s). Engine.Output is
+	// invoked on the worker goroutine; with several shards, calls are
+	// serialized across shards.
+	Engine engine.Config
+	// QueueSize is the input-queue capacity (default 1024), per
+	// shard. Feed blocks when the queue is full — the backpressure
+	// equivalent of the paper's buffer-overflow discussion.
+	QueueSize int
+	// Overflow selects blocking backpressure (default) or load
+	// shedding when the queue is full. Control messages (Migrate,
+	// Flush, Metrics) always block; only tuples are shed.
+	Overflow Overflow
+	// Shards is the worker count of a Runtime (default 1). Ignored by
+	// NewRunner.
+	Shards int
+}
+
+// NewRunner builds and starts a single-shard Runner. The Shards field
+// of cfg is ignored; use New for a sharded Runtime.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.QueueSize < 0 {
+		return nil, fmt.Errorf("runtime: negative queue size %d", cfg.QueueSize)
+	}
+	eng, err := engine.New(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		in:       make(chan message, cfg.QueueSize),
+		overflow: cfg.Overflow,
+		eng:      eng,
+	}
+	r.worker.Add(1)
+	go r.loop()
+	return r, nil
+}
+
+// MustNewRunner is NewRunner but panics on error.
+func MustNewRunner(cfg Config) *Runner {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (r *Runner) loop() {
+	defer r.worker.Done()
+	for msg := range r.in {
+		switch msg.kind {
+		case msgFeed:
+			r.eng.Feed(msg.ev)
+		case msgMigrate:
+			// Every tuple enqueued before this control message has
+			// already been processed through the old plan: channel
+			// order is the buffer-clearing phase.
+			msg.done <- r.eng.Migrate(msg.migrate)
+		case msgFlush:
+			msg.done <- nil
+		case msgMetrics:
+			msg.snap <- r.eng.Metrics()
+		case msgPlan:
+			msg.planCh <- r.eng.Plan()
+		case msgCheckpoint:
+			msg.done <- r.eng.Checkpoint(msg.ckptW)
+		}
+	}
+}
+
+// send enqueues a message unless the runner is closed.
+func (r *Runner) send(m message) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	// Holding mu during the channel send keeps Close from closing the
+	// channel under a concurrent sender.
+	defer r.mu.Unlock()
+	r.in <- m
+	return nil
+}
+
+// Feed enqueues one tuple. Under the Block policy it waits while the
+// input queue is full; under Shed it drops the tuple instead (counted
+// by Shed). Returns ErrClosed after Close.
+func (r *Runner) Feed(ev workload.Event) error {
+	if r.overflow == Shed {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		select {
+		case r.in <- message{kind: msgFeed, ev: ev}:
+		default:
+			r.shed.Add(1)
+		}
+		return nil
+	}
+	return r.send(message{kind: msgFeed, ev: ev})
+}
+
+// Shed returns the number of tuples dropped by the Shed overflow
+// policy.
+func (r *Runner) Shed() uint64 { return r.shed.Load() }
+
+// Migrate submits a plan transition in-band and waits until the worker
+// has applied it. Tuples enqueued before the call are processed by the
+// old plan; tuples enqueued after it by the new plan.
+func (r *Runner) Migrate(p *plan.Plan) error {
+	done := make(chan error, 1)
+	if err := r.send(message{kind: msgMigrate, migrate: p, done: done}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// Flush blocks until every message enqueued before the call has been
+// fully processed.
+func (r *Runner) Flush() error {
+	done := make(chan error, 1)
+	if err := r.send(message{kind: msgFlush, done: done}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// QueueLen returns the number of queued, unprocessed messages — the
+// input-buffer occupancy §3.2's overflow discussion is about.
+func (r *Runner) QueueLen() int { return len(r.in) }
+
+// Metrics snapshots the engine counters on the worker, after all
+// previously enqueued messages.
+func (r *Runner) Metrics() (metrics.Snapshot, error) {
+	snap := make(chan metrics.Snapshot, 1)
+	if err := r.send(message{kind: msgMetrics, snap: snap}); err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return <-snap, nil
+}
+
+// Snapshot reads the engine counters live, without a control-channel
+// round trip: the collector is atomic, so this is safe from any
+// goroutine, concurrently with the worker, and never blocks behind
+// queued tuples. Unlike Metrics it reflects the instant of the call,
+// not the point after previously enqueued work. Safe after Close.
+func (r *Runner) Snapshot() metrics.Snapshot { return r.eng.Metrics() }
+
+// Checkpoint serializes the engine's state to w on the worker, after
+// all previously enqueued messages — a consistent snapshot without
+// stopping producers (they block on the queue at most briefly).
+func (r *Runner) Checkpoint(w io.Writer) error {
+	done := make(chan error, 1)
+	if err := r.send(message{kind: msgCheckpoint, ckptW: w, done: done}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// Plan returns the currently executing plan, observed on the worker
+// after all previously enqueued messages.
+func (r *Runner) Plan() (*plan.Plan, error) {
+	ch := make(chan *plan.Plan, 1)
+	if err := r.send(message{kind: msgPlan, planCh: ch}); err != nil {
+		return nil, err
+	}
+	return <-ch, nil
+}
+
+// Close drains the queue, stops the worker, and returns once all
+// processing has finished. Close is idempotent. The engine's pooled
+// scratch is released; tuples already emitted stay valid.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.in)
+	r.mu.Unlock()
+	r.worker.Wait()
+	r.eng.Close()
+}

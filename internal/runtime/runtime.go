@@ -1,0 +1,196 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"jisc/internal/engine"
+	"jisc/internal/metrics"
+	"jisc/internal/plan"
+	"jisc/internal/workload"
+)
+
+// Runtime scales one continuous equi-join query across shard workers
+// by hash-partitioning the join key: tuples with equal keys land on
+// the same shard, and since every join in the query matches on that
+// key, shards never need to exchange state. Each shard is a full
+// Runner (engine + input queue); plan transitions fan out to all
+// shards, each of which migrates independently under the configured
+// strategy — JISC's lazy completion then proceeds per shard, on that
+// shard's keys only.
+//
+// Windows are per shard: a count window of W tuples bounds each
+// shard's per-stream state separately (the usual semantics of
+// hash-partitioned stream processors). With eviction-free horizons
+// (windows larger than the data) the output multiset is identical to
+// a single-engine run; the tests assert exactly that.
+type Runtime struct {
+	shards []*Runner
+
+	outMu sync.Mutex
+}
+
+// New builds a Runtime with cfg.Shards workers (default 1).
+// cfg.Engine.Output, if set, is serialized across shards.
+// cfg.QueueSize applies per shard.
+func New(cfg Config) (*Runtime, error) {
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("runtime: need at least 1 shard, got %d", shards)
+	}
+	rt := &Runtime{}
+	userOut := cfg.Engine.Output
+	if userOut != nil && shards > 1 {
+		cfg.Engine.Output = func(d engine.Delta) {
+			rt.outMu.Lock()
+			userOut(d)
+			rt.outMu.Unlock()
+		}
+	}
+	for i := 0; i < shards; i++ {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			for _, prev := range rt.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		rt.shards = append(rt.shards, r)
+	}
+	return rt, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Runtime {
+	rt, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Shards returns the shard count.
+func (rt *Runtime) Shards() int { return len(rt.shards) }
+
+// Partitions returns the shard count under its historical name.
+func (rt *Runtime) Partitions() int { return len(rt.shards) }
+
+// Shard returns shard i's Runner, for per-shard operations
+// (checkpointing, diagnostics).
+func (rt *Runtime) Shard(i int) *Runner { return rt.shards[i] }
+
+// route picks the shard for a join key. Fibonacci hashing spreads
+// sequential keys.
+func (rt *Runtime) route(ev workload.Event) *Runner {
+	if len(rt.shards) == 1 {
+		return rt.shards[0]
+	}
+	h := uint64(ev.Key) * 0x9E3779B97F4A7C15
+	return rt.shards[h%uint64(len(rt.shards))]
+}
+
+// Feed enqueues one tuple on its key's shard.
+func (rt *Runtime) Feed(ev workload.Event) error { return rt.route(ev).Feed(ev) }
+
+// Migrate transitions every shard to the new plan, in-band per shard.
+// It returns the first error; shards that already migrated stay on the
+// new plan (they run the same strategy, so a retry converges).
+func (rt *Runtime) Migrate(p *plan.Plan) error {
+	for _, r := range rt.shards {
+		if err := r.Migrate(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush waits for every shard to drain.
+func (rt *Runtime) Flush() error {
+	for _, r := range rt.shards {
+		if err := r.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics aggregates the shard counters in-band: each shard reports
+// after all its previously enqueued messages. See Snapshot for the
+// live, non-blocking variant.
+func (rt *Runtime) Metrics() (metrics.Snapshot, error) {
+	snaps := make([]metrics.Snapshot, 0, len(rt.shards))
+	for _, r := range rt.shards {
+		s, err := r.Metrics()
+		if err != nil {
+			return metrics.Snapshot{}, err
+		}
+		snaps = append(snaps, s)
+	}
+	return metrics.MergeShards(snaps), nil
+}
+
+// Snapshot merges the shard counters live, without control-channel
+// round trips: the per-engine collectors are atomic, so monitoring
+// reads them concurrently with the workers and never queues behind
+// tuples. Safe from any goroutine, including after Close.
+func (rt *Runtime) Snapshot() metrics.Snapshot {
+	snaps := make([]metrics.Snapshot, 0, len(rt.shards))
+	for _, r := range rt.shards {
+		snaps = append(snaps, r.Snapshot())
+	}
+	return metrics.MergeShards(snaps)
+}
+
+// Shed sums the tuples dropped by the Shed overflow policy across
+// shards.
+func (rt *Runtime) Shed() uint64 {
+	var total uint64
+	for _, r := range rt.shards {
+		total += r.Shed()
+	}
+	return total
+}
+
+// QueueLen sums the input-buffer occupancy across shards.
+func (rt *Runtime) QueueLen() int {
+	total := 0
+	for _, r := range rt.shards {
+		total += r.QueueLen()
+	}
+	return total
+}
+
+// Plan returns the currently executing plan, observed on shard 0 —
+// migrations fan out to every shard in order, so shard 0 is never
+// behind the others' plan.
+func (rt *Runtime) Plan() (*plan.Plan, error) { return rt.shards[0].Plan() }
+
+// Checkpoint serializes the single shard's state to w. With several
+// shards there is no single consistent stream; use CheckpointShard
+// per shard instead.
+func (rt *Runtime) Checkpoint(w io.Writer) error {
+	if len(rt.shards) > 1 {
+		return fmt.Errorf("runtime: %d shards have no single checkpoint stream; checkpoint each shard", len(rt.shards))
+	}
+	return rt.shards[0].Checkpoint(w)
+}
+
+// CheckpointShard serializes shard i's state to w, in-band on that
+// shard's worker.
+func (rt *Runtime) CheckpointShard(i int, w io.Writer) error {
+	if i < 0 || i >= len(rt.shards) {
+		return fmt.Errorf("runtime: no shard %d (have %d)", i, len(rt.shards))
+	}
+	return rt.shards[i].Checkpoint(w)
+}
+
+// Close stops every shard.
+func (rt *Runtime) Close() {
+	for _, r := range rt.shards {
+		r.Close()
+	}
+}

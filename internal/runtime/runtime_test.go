@@ -1,0 +1,141 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+
+	"jisc/internal/core"
+	"jisc/internal/engine"
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+func TestNewDefaultsToOneShard(t *testing.T) {
+	rt := MustNew(Config{Engine: engine.Config{Plan: plan.MustLeftDeep(0, 1)}})
+	defer rt.Close()
+	if rt.Shards() != 1 {
+		t.Fatalf("Shards = %d, want 1", rt.Shards())
+	}
+}
+
+func TestNewRejectsNegativeShards(t *testing.T) {
+	if _, err := New(Config{
+		Engine: engine.Config{Plan: plan.MustLeftDeep(0, 1)},
+		Shards: -1,
+	}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+func TestRouteKeyAffinity(t *testing.T) {
+	rt := MustNew(Config{
+		Engine: engine.Config{Plan: plan.MustLeftDeep(0, 1), WindowSize: 100},
+		Shards: 3,
+	})
+	defer rt.Close()
+	// Same key must always land on the same shard, whatever the
+	// stream: equi-join matching is per key.
+	for key := tuple.Value(0); key < 64; key++ {
+		a := rt.route(workload.Event{Stream: 0, Key: key})
+		b := rt.route(workload.Event{Stream: 1, Key: key})
+		if a != b {
+			t.Fatalf("key %d routed to different shards", key)
+		}
+	}
+}
+
+// TestSnapshotConcurrentWithFeed exercises the lock-free metrics path:
+// Snapshot merges the shard counters from the test goroutine while the
+// workers are busy processing, with no control-channel round trip.
+// Run with -race this doubles as the data-race proof for the atomic
+// collector contract.
+func TestSnapshotConcurrentWithFeed(t *testing.T) {
+	const n = 2000
+	rt := MustNew(Config{
+		Engine: engine.Config{
+			Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: 256, Strategy: core.New(),
+		},
+		QueueSize: 64,
+		Shards:    4,
+	})
+	defer rt.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := rt.Feed(workload.Event{
+				Stream: tuple.StreamID(i % 3), Key: tuple.Value(i % 32),
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Live snapshots while the workers churn: monotone non-decreasing
+	// input counts, never an error, never blocking on the queues.
+	var last uint64
+	for i := 0; i < 100; i++ {
+		s := rt.Snapshot()
+		if s.Input < last {
+			t.Fatalf("Snapshot Input went backwards: %d -> %d", last, s.Input)
+		}
+		last = s.Input
+	}
+	wg.Wait()
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Snapshot().Input; got != n {
+		t.Fatalf("final Snapshot Input = %d, want %d", got, n)
+	}
+}
+
+func TestMigrateFansOutToAllShards(t *testing.T) {
+	rt := MustNew(Config{
+		Engine: engine.Config{
+			Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: 128, Strategy: core.New(),
+		},
+		Shards: 3,
+	})
+	defer rt.Close()
+	for i := 0; i < 300; i++ {
+		if err := rt.Feed(workload.Event{
+			Stream: tuple.StreamID(i % 3), Key: tuple.Value(i % 16),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := plan.MustLeftDeep(2, 0, 1)
+	if err := rt.Migrate(target); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rt.Shards(); i++ {
+		p, err := rt.Shard(i).Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != target.String() {
+			t.Fatalf("shard %d on plan %s, want %s", i, p, target)
+		}
+	}
+	if m, err := rt.Metrics(); err != nil || m.Transitions != 1 {
+		t.Fatalf("merged Transitions = %d (err %v), want 1", m.Transitions, err)
+	}
+}
+
+func TestCheckpointRequiresSingleShard(t *testing.T) {
+	rt := MustNew(Config{
+		Engine: engine.Config{Plan: plan.MustLeftDeep(0, 1)},
+		Shards: 2,
+	})
+	defer rt.Close()
+	if err := rt.Checkpoint(nil); err == nil {
+		t.Fatal("multi-shard Checkpoint accepted")
+	}
+	if err := rt.CheckpointShard(5, nil); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

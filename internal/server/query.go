@@ -2,18 +2,20 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
 	"jisc/internal/engine"
 	"jisc/internal/pipeline"
+	"jisc/internal/runtime"
 )
 
-// query is one named continuous query hosted by the server: a runner
-// plus its subscriber set.
+// query is one named continuous query hosted by the server: a sharded
+// runtime plus its subscriber set.
 type query struct {
 	name   string
-	runner *pipeline.Runner
+	runner *runtime.Runtime
 
 	mu      sync.Mutex
 	subs    map[int]chan string
@@ -24,7 +26,7 @@ type query struct {
 func newQuery(name string, cfg pipeline.Config, bufSize int) (*query, error) {
 	q := &query{name: name, subs: make(map[int]chan string), bufSize: bufSize}
 	cfg.Engine.Output = q.broadcast
-	r, err := pipeline.New(cfg)
+	r, err := runtime.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -78,16 +80,34 @@ func (q *query) subscribers() int {
 	return len(q.subs)
 }
 
+// checkpoint writes the query's state to path. A single-shard query
+// produces one file; a sharded one produces path.0 … path.N-1, one
+// consistent snapshot per shard (shards never exchange state, so
+// per-shard files restore independently).
 func (q *query) checkpoint(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	writeOne := func(p string, ckpt func(w io.Writer) error) error {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := ckpt(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
-	if err := q.runner.Checkpoint(f); err != nil {
-		f.Close()
-		return err
+	if q.runner.Shards() == 1 {
+		return writeOne(path, q.runner.Checkpoint)
 	}
-	return f.Close()
+	for i := 0; i < q.runner.Shards(); i++ {
+		i := i
+		if err := writeOne(fmt.Sprintf("%s.%d", path, i), func(w io.Writer) error {
+			return q.runner.CheckpointShard(i, w)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (q *query) close() {

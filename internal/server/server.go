@@ -46,11 +46,14 @@ import (
 
 // Config parameterizes a Server.
 type Config struct {
-	// Pipeline configures the default query's runner and serves as
+	// Pipeline configures the default query's runtime and serves as
 	// the template for CREATEd queries (strategy, queue size,
-	// overflow policy). Its Engine.Output is owned by the server and
-	// must be nil. Engine.Plan may be nil to start the server with no
-	// default query (CREATE adds queries at runtime).
+	// overflow policy, shard count). Setting its Shards field above 1
+	// hash-partitions every hosted query across that many worker
+	// shards; CHECKPOINT then writes one file per shard
+	// (<path>.0 … <path>.N-1). Its Engine.Output is owned by the
+	// server and must be nil. Engine.Plan may be nil to start the
+	// server with no default query (CREATE adds queries at runtime).
 	Pipeline pipeline.Config
 	// SubscriberBuffer is the per-subscriber line buffer (default
 	// 1024); a subscriber that falls this far behind is dropped.

