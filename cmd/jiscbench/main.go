@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"jisc/internal/bench"
@@ -30,6 +32,8 @@ func main() {
 		ptcheck = flag.Int("ptcheck", 0, "Parallel Track discard-scan period in tuples (0 = window/10)")
 		reps    = flag.Int("reps", 3, "repetitions per timing-sensitive measurement (min/median reported)")
 		shards  = flag.Int("shards", 1, "run the Fig-7/8 JISC measurement through the sharded runtime with N shards")
+		latency = flag.Bool("latency", false, "run the per-phase transition latency benchmark (p50/p95/p99/max per strategy) instead of a figure")
+		latOut  = flag.String("latencyout", "BENCH_latency.json", "output path for the -latency JSON report")
 	)
 	flag.Parse()
 
@@ -49,6 +53,13 @@ func main() {
 
 	want := func(name string) bool {
 		return *fig == "all" || strings.EqualFold(*fig, name)
+	}
+
+	if *latency {
+		run("Transition latency (Fig 7/8 conditions)", func() error {
+			return runLatency(cfg, *latOut, w)
+		})
+		return
 	}
 
 	joinSweep := []int{4, 8, 12, 16, 20}
@@ -142,4 +153,46 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runLatency runs the per-phase transition latency benchmark for the
+// best- and worst-case swaps and writes the JSON report to out. It
+// uses 8 joins — the mid-point of the paper's sweep — so the eager
+// Moving State recomputation is visible without dominating runtime.
+func runLatency(cfg bench.Config, out string, w *os.File) error {
+	const latJoins = 8
+	best, err := bench.LatencyBench(cfg, latJoins, false, w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	worst, err := bench.LatencyBench(cfg, latJoins, true, w)
+	if err != nil {
+		return err
+	}
+	report := struct {
+		Description string              `json:"description"`
+		Go          string              `json:"go"`
+		Config      bench.Config        `json:"config"`
+		BestCase    bench.LatencyReport `json:"best_case"`
+		WorstCase   bench.LatencyReport `json:"worst_case"`
+	}{
+		Description: "Per-tuple feed latency (p50/p95/p99/max, ns) across a plan transition " +
+			"under Fig 7/8 conditions: steady state, the migration stage (until Parallel " +
+			"Track discards the old plan), and post-migration, plus the synchronous " +
+			"Migrate-call stall per strategy. Regenerate with: jiscbench -latency",
+		Go:        runtime.Version(),
+		Config:    cfg,
+		BestCase:  best,
+		WorstCase: worst,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", out)
+	return nil
 }

@@ -34,14 +34,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7878", "listen address")
-		planSrc  = flag.String("plan", "0,1,2", "initial plan (infix tree or comma-separated left-deep order)")
-		window   = flag.Int("window", 10000, "per-stream window size in tuples")
-		timeSpan = flag.Uint64("timespan", 0, "time-based window span in ticks (0 = count-based)")
-		strat    = flag.String("strategy", "jisc", "migration strategy: jisc, moving-state, static")
-		queue    = flag.Int("queue", 4096, "input queue size (per shard)")
-		shedding = flag.Bool("shed", false, "drop tuples instead of blocking when the queue is full")
-		shards   = flag.Int("shards", 1, "worker shards per query (hash-partitioned by join key)")
+		addr      = flag.String("addr", "127.0.0.1:7878", "listen address")
+		planSrc   = flag.String("plan", "0,1,2", "initial plan (infix tree or comma-separated left-deep order)")
+		window    = flag.Int("window", 10000, "per-stream window size in tuples")
+		timeSpan  = flag.Uint64("timespan", 0, "time-based window span in ticks (0 = count-based)")
+		strat     = flag.String("strategy", "jisc", "migration strategy: jisc, moving-state, static")
+		queue     = flag.Int("queue", 4096, "input queue size (per shard)")
+		shedding  = flag.Bool("shed", false, "drop tuples instead of blocking when the queue is full")
+		shards    = flag.Int("shards", 1, "worker shards per query (hash-partitioned by join key)")
+		telemetry = flag.String("telemetry", "", "HTTP observability address, e.g. 127.0.0.1:9090 (/metrics, /trace, /healthz, /debug/pprof/); empty = off")
 	)
 	flag.Parse()
 
@@ -86,6 +87,12 @@ func main() {
 	}
 	if err := srv.Listen(*addr); err != nil {
 		die(err)
+	}
+	if *telemetry != "" {
+		if err := srv.ServeTelemetry(*telemetry); err != nil {
+			die(err)
+		}
+		fmt.Printf("jiscd: telemetry on http://%s/metrics\n", srv.TelemetryAddr())
 	}
 	fmt.Printf("jiscd: serving %s on %s (strategy %s, window %d, shards %d)\n",
 		p, srv.Addr(), *strat, *window, *shards)

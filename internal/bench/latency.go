@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"jisc/internal/core"
+	"jisc/internal/engine"
+	"jisc/internal/migrate"
+	"jisc/internal/obs"
+	"jisc/internal/workload"
+)
+
+// The per-phase latency experiment behind Figures 7/8's headline: the
+// migration-stage *throughput* gap is really a *latency* story — an
+// eager strategy stalls every tuple queued behind the migration, while
+// JISC spreads the work over many small completion episodes. This
+// driver replays the Fig 7/8 transition and records each tuple's feed
+// latency into a histogram per phase (steady state before the
+// transition, the migration stage, and after it), reporting
+// p50/p95/p99/max per strategy. The Migrate call itself is timed
+// separately: under Moving State that stall is the halt §3.2 warns
+// about, and no per-tuple percentile can show it.
+
+// PhaseLatency summarizes one phase's per-tuple feed-latency
+// distribution. Durations marshal as nanoseconds.
+type PhaseLatency struct {
+	Count uint64        `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+func phaseOf(s obs.HistSnapshot) PhaseLatency {
+	return PhaseLatency{
+		Count: s.Count,
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+		Max:   time.Duration(s.Max),
+	}
+}
+
+// TransitionLatencyRow is one strategy's per-phase latency profile across the
+// transition.
+type TransitionLatencyRow struct {
+	Strategy string `json:"strategy"`
+	// MigrateStall is the duration of the Migrate call itself — the
+	// synchronous halt (eager state recomputation for Moving State,
+	// ~nothing for JISC and Parallel Track).
+	MigrateStall time.Duration `json:"migrate_stall_ns"`
+	Steady       PhaseLatency  `json:"steady"`
+	During       PhaseLatency  `json:"during_migration"`
+	Post         PhaseLatency  `json:"post_migration"`
+}
+
+// LatencyReport is the result of one LatencyBench run.
+type LatencyReport struct {
+	Joins     int                    `json:"joins"`
+	Window    int                    `json:"window"`
+	MigTuples int                    `json:"migration_stage_tuples"`
+	Rows      []TransitionLatencyRow `json:"strategies"`
+}
+
+// feedTimed feeds evs one by one, recording each call's wall-clock
+// duration — external per-tuple timing, not the engine's sampled
+// instrumentation, so every tuple lands in the histogram.
+func feedTimed(f feeder, evs []workload.Event, h *obs.Histogram) {
+	for _, ev := range evs {
+		start := time.Now()
+		f.Feed(ev)
+		h.Record(time.Since(start))
+	}
+}
+
+// LatencyBench runs the Fig 7/8 transition experiment under per-tuple
+// latency measurement for JISC, Moving State, and Parallel Track.
+// worstCase picks the transition (Figure 8's worst-case swap instead of
+// Figure 7's best case); every strategy replays the identical
+// warmup/steady/stage/post tuple sequence. As in Figure 7/8, the
+// migration stage lasts until Parallel Track discards its old plan.
+func LatencyBench(cfg Config, joins int, worstCase bool, w io.Writer) (LatencyReport, error) {
+	if err := cfg.validate(); err != nil {
+		return LatencyReport{}, err
+	}
+	streams := joins + 1
+	p := initialPlan(streams)
+	swap, title := bestCaseSwap, "Best-case transition (Fig 7 conditions)"
+	if worstCase {
+		swap, title = worstCaseSwap, "Worst-case transition (Fig 8 conditions)"
+	}
+	target := swap(p)
+	src := cfg.source(streams)
+	warm := src.Take(cfg.Tuples)
+	// Steady-state phase: windows are full after the warmup, so these
+	// tuples measure the undisturbed pipeline.
+	steadyN := cfg.Tuples / 2
+	if steadyN < 1 {
+		steadyN = 1
+	}
+	steady := src.Take(steadyN)
+
+	report := LatencyReport{Joins: joins, Window: cfg.Window}
+
+	// --- Parallel Track first: its discard point defines the
+	// migration stage every other strategy replays.
+	pt := migrate.MustNewParallelTrack(migrate.PTConfig{
+		Plan: p, WindowSize: cfg.Window, CheckEvery: ptCheckEvery(cfg),
+	})
+	for _, ev := range warm {
+		pt.Feed(ev)
+	}
+	var hSteady, hDuring, hPost obs.Histogram
+	feedTimed(pt, steady, &hSteady)
+	mStart := time.Now()
+	if err := pt.Migrate(target); err != nil {
+		return LatencyReport{}, err
+	}
+	ptStall := time.Since(mStart)
+	var stage []workload.Event
+	maxStage := 4 * streams * cfg.Window
+	for i := 0; i < maxStage; i++ {
+		ev := src.Next()
+		stage = append(stage, ev)
+		start := time.Now()
+		pt.Feed(ev)
+		hDuring.Record(time.Since(start))
+		if !pt.MigrationActive() {
+			break
+		}
+	}
+	post := src.Take(len(stage))
+	feedTimed(pt, post, &hPost)
+	report.MigTuples = len(stage)
+	report.Rows = append(report.Rows, TransitionLatencyRow{
+		Strategy: "parallel-track", MigrateStall: ptStall,
+		Steady: phaseOf(hSteady.Snapshot()),
+		During: phaseOf(hDuring.Snapshot()),
+		Post:   phaseOf(hPost.Snapshot()),
+	})
+
+	// --- JISC and Moving State replay the identical sequence on the
+	// plain engine.
+	for _, sc := range []struct {
+		name     string
+		strategy engine.Strategy
+	}{
+		{"jisc", core.New()},
+		{"moving-state", migrate.MovingState{}},
+	} {
+		e := engine.MustNew(engine.Config{Plan: p, WindowSize: cfg.Window, Strategy: sc.strategy})
+		for _, ev := range warm {
+			e.Feed(ev)
+		}
+		var hSteady, hDuring, hPost obs.Histogram
+		feedTimed(e, steady, &hSteady)
+		mStart := time.Now()
+		if err := e.Migrate(target); err != nil {
+			return LatencyReport{}, err
+		}
+		stall := time.Since(mStart)
+		feedTimed(e, stage, &hDuring)
+		feedTimed(e, post, &hPost)
+		report.Rows = append(report.Rows, TransitionLatencyRow{
+			Strategy: sc.name, MigrateStall: stall,
+			Steady: phaseOf(hSteady.Snapshot()),
+			During: phaseOf(hDuring.Snapshot()),
+			Post:   phaseOf(hPost.Snapshot()),
+		})
+		e.Close()
+	}
+
+	fprintf(w, "%s — per-tuple feed latency across the transition, joins=%d, window=%d, stage=%d tuples\n",
+		title, joins, cfg.Window, report.MigTuples)
+	fprintf(w, "%-14s %12s  %-30s %-30s %-30s\n", "strategy", "mig-stall", "steady p50/p99/max", "during p50/p99/max", "post p50/p99/max")
+	fmtPhase := func(ph PhaseLatency) string {
+		return ph.P50.Round(time.Microsecond).String() + "/" +
+			ph.P99.Round(time.Microsecond).String() + "/" +
+			ph.Max.Round(time.Microsecond).String()
+	}
+	for _, r := range report.Rows {
+		fprintf(w, "%-14s %12v  %-30s %-30s %-30s\n",
+			r.Strategy, r.MigrateStall.Round(time.Microsecond),
+			fmtPhase(r.Steady), fmtPhase(r.During), fmtPhase(r.Post))
+	}
+	return report, nil
+}

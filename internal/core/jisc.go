@@ -11,6 +11,7 @@ package core
 
 import (
 	"jisc/internal/engine"
+	"jisc/internal/obs"
 	"jisc/internal/tuple"
 )
 
@@ -71,17 +72,53 @@ func (c *JISC) BeforeProbe(e *engine.Engine, j, opp *engine.Node, t *tuple.Tuple
 		if opp.St.Attempted(t.Key) {
 			return
 		}
+		end := beginEpisode(e, t.Key)
 		if !c.DisableLeftDeepFastPath && isLeftSpine(opp) {
 			c.completeKeyLD(e, opp, t.Key)
 		} else {
 			c.completeKey(e, opp, t.Key)
 		}
+		end()
 	case opp.Ls != nil:
 		if opp.Ls.Complete() || opp.Ls.Attempted(t.Refs[0]) {
 			return
 		}
 		opp.Ls.MarkAttempted(t.Refs[0])
+		end := beginEpisode(e, t.Key)
 		c.completeNLState(e, opp)
+		end()
+	}
+}
+
+// noEpisode is the no-op episode closer handed out when
+// instrumentation is off, so the probe path allocates nothing.
+func noEpisode() {}
+
+// beginEpisode opens one just-in-time completion episode — the unit
+// the paper trades the migration stall into — and returns its closer.
+// The episode duration lands in the Completion histogram; start/end
+// events (with the triggering key and the tuples materialized) go to
+// the tracer.
+func beginEpisode(e *engine.Engine, key tuple.Value) func() {
+	o := e.Obs()
+	if o == nil {
+		return noEpisode
+	}
+	met := e.Collector()
+	before := met.CompletedEntries.Load()
+	o.Tracer.Emit(obs.Event{
+		Kind: obs.EvCompletionStart, Query: o.Query, Shard: o.Shard,
+		Tick: e.Tick(), Key: int64(key),
+	})
+	start := e.Now()
+	return func() {
+		d := e.Now().Sub(start)
+		o.Completion.Record(d)
+		o.Tracer.Emit(obs.Event{
+			Kind: obs.EvCompletionEnd, Query: o.Query, Shard: o.Shard,
+			Tick: e.Tick(), Key: int64(key),
+			Count: met.CompletedEntries.Load() - before, Dur: d,
+		})
 	}
 }
 
@@ -254,7 +291,9 @@ func (c *JISC) completeHashFull(e *engine.Engine, n *engine.Node) {
 // `exclude` so the books reflect the instant before the triggering
 // event.
 func (c *JISC) BeforeDiffEvent(e *engine.Engine, j *engine.Node, key tuple.Value, exclude tuple.Ref, haveExclude bool) {
+	end := beginEpisode(e, key)
 	c.completeDiffKey(e, j, key, exclude, haveExclude)
+	end()
 }
 
 func (c *JISC) completeDiffKey(e *engine.Engine, j *engine.Node, key tuple.Value, exclude tuple.Ref, haveExclude bool) {

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
@@ -33,6 +34,36 @@ func BenchmarkFeedSteadyState(b *testing.B) {
 		e.Feed(src.Next())
 	}
 	_ = outputs
+}
+
+// BenchmarkFeedSteadyStateObserved is BenchmarkFeedSteadyState with
+// latency instrumentation on (feed-latency histogram per tuple,
+// sampled probe/build histograms): the difference between the two is
+// the observability overhead, budgeted at ≤10% (tracked in
+// BENCH_latency.json).
+func BenchmarkFeedSteadyStateObserved(b *testing.B) {
+	const window = 1024
+	src := workload.MustNewSource(workload.Config{Streams: 3, Domain: window, Seed: 1})
+	rec := obs.NewSet("bench", 0).Recorder(0)
+	var outputs uint64
+	e := MustNew(Config{
+		Plan:       plan.MustLeftDeep(0, 1, 2),
+		WindowSize: window,
+		Output:     func(Delta) { outputs++ },
+		Obs:        rec,
+	})
+	for i := 0; i < 4*window; i++ {
+		e.Feed(src.Next())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Feed(src.Next())
+	}
+	_ = outputs
+	if rec.Feed.Count() == 0 {
+		b.Fatal("no feed latency recorded")
+	}
 }
 
 // BenchmarkFeedTwoWay is the minimal join pipeline — one symmetric

@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/tuple"
 )
@@ -45,6 +46,12 @@ type Config struct {
 	// plan transition's classification — the observability hook
 	// monitoring and tests use to watch migrations.
 	Observer func(TransitionEvent)
+	// Obs, when non-nil, turns on latency instrumentation: per-tuple
+	// feed latency, sampled per-operator probe/build time, Migrate
+	// duration, and (through the recorder's Tracer) migration
+	// lifecycle events. Nil — the default — keeps every clock read off
+	// the hot path.
+	Obs *obs.Recorder
 	// EmitExpiry turns the output into a revision stream for join
 	// pipelines: when a window slide removes results from the root
 	// state, each removal is emitted as a retraction Delta, so

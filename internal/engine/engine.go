@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"jisc/internal/metrics"
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/state"
 	"jisc/internal/tuple"
@@ -82,6 +83,7 @@ type Engine struct {
 	strategy Strategy
 	out      Output
 	met      metrics.Collector
+	obs      *obs.Recorder
 	now      func() time.Time
 	scratch  scratch
 
@@ -135,6 +137,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:         cfg,
 		strategy:    cfg.Strategy,
 		out:         cfg.Output,
+		obs:         cfg.Obs,
 		now:         cfg.Now,
 		scans:       make(map[tuple.StreamID]*Node),
 		windows:     make(map[tuple.StreamID]window.Slider),
@@ -201,6 +204,15 @@ func (e *Engine) Metrics() metrics.Snapshot { return e.met.Snapshot() }
 // Collector exposes the live metrics collector to strategies.
 func (e *Engine) Collector() *metrics.Collector { return &e.met }
 
+// Obs returns the engine's latency recorder, nil when instrumentation
+// is off.
+func (e *Engine) Obs() *obs.Recorder { return e.obs }
+
+// Now reads the engine's clock (Config.Now, default time.Now) — the
+// clock instrumentation and strategies must share so injected test
+// clocks govern every recorded duration.
+func (e *Engine) Now() time.Time { return e.now() }
+
 // Kind returns the physical operator kind of internal nodes.
 func (e *Engine) Kind() Kind { return e.cfg.Kind }
 
@@ -261,6 +273,11 @@ func (e *Engine) processStamped(ev workload.Event, seq, tick uint64) {
 	if !ok {
 		panic(fmt.Sprintf("engine: tuple for unknown stream %d", ev.Stream))
 	}
+	var start time.Time
+	timedFeed := e.obs.SampleFeed()
+	if timedFeed {
+		start = e.now()
+	}
 	e.tick = tick
 	e.met.Input.Add(1)
 	e.seqs[ev.Stream] = seq
@@ -280,6 +297,9 @@ func (e *Engine) processStamped(ev workload.Event, seq, tick uint64) {
 	scan.St.Insert(t)
 	e.met.Inserts.Add(1)
 	e.pushUp(scan, t, fresh)
+	if timedFeed {
+		e.obs.Feed.Record(e.now().Sub(start))
+	}
 }
 
 // pushUp delivers t (the freshly produced output of child) to child's

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"jisc/internal/tuple"
 )
 
@@ -21,18 +23,45 @@ func (hashJoinOp) Kind() Kind { return HashJoin }
 
 // Push implements Operator: probe the opposite child's hash state with
 // t's key, build composites through the engine's scratch builder, and
-// recurse upward.
+// recurse upward. With instrumentation on, one in obs.sampleEvery
+// probes is timed (probe and build separately) — sampling keeps the
+// two extra clock reads off most of the hot path.
 func (hashJoinOp) Push(e *Engine, j, from *Node, t *tuple.Tuple, fresh bool) {
 	opp := j.Opposite(from)
 	e.strategy.BeforeProbe(e, j, opp, t, fresh)
 	e.met.Probes.Add(1)
+	timed := e.obs.SampleProbe()
+	var t0, t1 time.Time
+	if timed {
+		t0 = e.now()
+	}
 	matches := opp.St.Probe(t.Key)
+	if timed {
+		t1 = e.now()
+		e.recordProbe(opp, t1.Sub(t0))
+	}
 	opp.Probes++
 	opp.Matches += uint64(len(matches))
-	for _, m := range matches {
+	for i, m := range matches {
 		out := e.scratch.builder().Join(t, m)
 		j.St.Insert(out)
+		if timed && i == 0 {
+			// Time only the first build of a timed probe, reusing the
+			// probe-end clock read as the build start: one extra read
+			// per sample instead of two per match.
+			e.obs.Build.Record(e.now().Sub(t1))
+		}
 		e.met.Inserts.Add(1)
 		e.pushUp(j, out, fresh)
 	}
+}
+
+// recordProbe folds one timed probe of n's state into the engine-wide
+// probe histogram and n's per-operator accumulators.
+func (e *Engine) recordProbe(n *Node, d time.Duration) {
+	e.obs.Probe.Record(d)
+	if d > 0 {
+		n.ProbeNanos += uint64(d)
+	}
+	n.ProbeSamples++
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"jisc/internal/tuple"
 )
 
@@ -19,6 +21,13 @@ func (nlJoinOp) Push(e *Engine, j, from *Node, t *tuple.Tuple, fresh bool) {
 	opp := j.Opposite(from)
 	e.strategy.BeforeProbe(e, j, opp, t, fresh)
 	e.met.Probes.Add(1)
+	// The whole opposite-state scan is one probe for timing purposes:
+	// that is the unit of work an arriving tuple pays at this operator.
+	timed := e.obs.SampleProbe()
+	var t0 time.Time
+	if timed {
+		t0 = e.now()
+	}
 	pred := e.cfg.Theta
 	// The probe orientation matters to theta predicates: pred is
 	// defined as pred(left-side tuple, right-side tuple) in plan
@@ -41,4 +50,11 @@ func (nlJoinOp) Push(e *Engine, j, from *Node, t *tuple.Tuple, fresh bool) {
 		}
 		return true
 	})
+	if timed {
+		// Includes the matches' downstream processing — for a
+		// nested-loops scan the two are inseparable without a clock
+		// read per stored entry, and the optimizer's left-deep cost
+		// model never reads nested-loops nodes anyway.
+		e.recordProbe(opp, e.now().Sub(t0))
+	}
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"jisc/internal/tuple"
 	"jisc/internal/window"
 )
@@ -54,7 +56,16 @@ func (setDiffOp) Push(e *Engine, j, from *Node, t *tuple.Tuple, fresh bool) {
 // and propagate it unless the inner stream suppresses its key.
 func (e *Engine) diffOuterAddition(j *Node, t *tuple.Tuple, fresh bool) {
 	e.met.Probes.Add(1)
-	if j.Right.St.ContainsKey(t.Key) {
+	timed := e.obs.SampleProbe()
+	var t0 time.Time
+	if timed {
+		t0 = e.now()
+	}
+	suppressed := j.Right.St.ContainsKey(t.Key)
+	if timed {
+		e.recordProbe(j.Right, e.now().Sub(t0))
+	}
+	if suppressed {
 		return // suppressed: stays visible only in the left child
 	}
 	j.St.Insert(t)

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 )
 
@@ -32,6 +34,10 @@ func (e *Engine) Migrate(newPlan *plan.Plan) error {
 	if tr, ok := e.strategy.(TransitionRejector); ok && tr.RejectsTransitions() {
 		return fmt.Errorf("engine: %s strategy does not support plan transitions", e.strategy.Name())
 	}
+	var start time.Time
+	if e.obs != nil {
+		start = e.now()
+	}
 	e.met.MarkTransition(e.now())
 	// Buffer-clearing phase: everything received before the
 	// transition is processed through the old plan.
@@ -42,19 +48,52 @@ func (e *Engine) Migrate(newPlan *plan.Plan) error {
 	if err := e.strategy.OnTransition(e); err != nil {
 		return err
 	}
-	if e.cfg.Observer != nil {
+	// The Migrate duration is the halt an eager strategy pays (buffer
+	// clearing + OnTransition); under JISC it stays near zero — the
+	// latency trade the paper's Figures 7/8 are about.
+	var dur time.Duration
+	if e.obs != nil {
+		dur = e.now().Sub(start)
+		e.obs.Migrate.Record(dur)
+	}
+	var tracer *obs.Tracer
+	if e.obs != nil {
+		tracer = e.obs.Tracer
+	}
+	if e.cfg.Observer != nil || tracer != nil {
 		ev := TransitionEvent{Old: oldPlan, New: newPlan.String(), Tick: e.tick}
+		var stateEvents []obs.Event
 		for _, n := range e.Nodes() {
 			if n.IsLeaf() {
 				continue
 			}
+			kind := obs.EvStateIncomplete
 			if childComplete(n) {
 				ev.Complete++
+				kind = obs.EvStateComplete
 			} else {
 				ev.Incomplete++
 			}
+			if tracer != nil {
+				stateEvents = append(stateEvents, obs.Event{
+					Kind: kind, Query: e.obs.Query, Shard: e.obs.Shard,
+					Tick: e.tick, Note: n.Set.String(),
+				})
+			}
 		}
-		e.cfg.Observer(ev)
+		if tracer != nil {
+			tracer.Emit(obs.Event{
+				Kind: obs.EvPlanInstalled, Query: e.obs.Query, Shard: e.obs.Shard,
+				Tick: e.tick, Count: uint64(ev.Incomplete), Extra: uint64(ev.Complete),
+				Dur: dur, Note: oldPlan + " -> " + ev.New,
+			})
+			for _, se := range stateEvents {
+				tracer.Emit(se)
+			}
+		}
+		if e.cfg.Observer != nil {
+			e.cfg.Observer(ev)
+		}
 	}
 	return nil
 }

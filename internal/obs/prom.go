@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled so the
+// telemetry endpoint needs no dependency. Histograms are exported in
+// seconds, as Prometheus convention requires; only non-empty buckets
+// are emitted (cumulative counts stay correct under any subset of
+// boundaries), keeping the scrape small despite the fixed bucket
+// table. The Series variants emit samples without a TYPE header, for
+// endpoints exporting the same metric across several queries — the
+// format allows one TYPE line per metric name.
+
+// PromLabels formats the single query label. Values are escaped per
+// the exposition format.
+func PromLabels(query string) string {
+	return `query="` + escapeLabel(query) + `"`
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WritePromType emits the TYPE header for a metric. kind is "counter",
+// "gauge", or "histogram".
+func WritePromType(w io.Writer, name, kind string) {
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+// WritePromCounter emits one counter sample with a TYPE header.
+func WritePromCounter(w io.Writer, name, labels string, v uint64) {
+	WritePromType(w, name, "counter")
+	WritePromCounterSeries(w, name, labels, v)
+}
+
+// WritePromCounterSeries emits one counter sample without a header.
+func WritePromCounterSeries(w io.Writer, name, labels string, v uint64) {
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+}
+
+// WritePromGauge emits one gauge sample with a TYPE header.
+func WritePromGauge(w io.Writer, name, labels string, v float64) {
+	WritePromType(w, name, "gauge")
+	WritePromGaugeSeries(w, name, labels, v)
+}
+
+// WritePromGaugeSeries emits one gauge sample without a header.
+func WritePromGaugeSeries(w io.Writer, name, labels string, v float64) {
+	fmt.Fprintf(w, "%s{%s} %g\n", name, labels, v)
+}
+
+// WritePromHistogram emits s as a Prometheus histogram named name
+// (unit: seconds) with the given extra labels ("k=\"v\"" form, no
+// braces, may be empty), preceded by its TYPE header.
+func WritePromHistogram(w io.Writer, name, labels string, s HistSnapshot) {
+	WritePromType(w, name, "histogram")
+	WritePromHistogramSeries(w, name, labels, s)
+}
+
+// WritePromHistogramSeries is WritePromHistogram without the header.
+func WritePromHistogramSeries(w io.Writer, name, labels string, s HistSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatSeconds(BucketBound(i)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+}
+
+// formatSeconds renders a nanosecond bound as seconds for the "le"
+// label, with enough precision to keep distinct bounds distinct.
+func formatSeconds(ns uint64) string {
+	return fmt.Sprintf("%g", float64(ns)/1e9)
+}

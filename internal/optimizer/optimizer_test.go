@@ -7,6 +7,7 @@ import (
 
 	"jisc/internal/core"
 	"jisc/internal/engine"
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
@@ -194,5 +195,124 @@ func TestAdvisorDrivesEngineMigration(t *testing.T) {
 	}
 	if e.Metrics().Transitions != 1 {
 		t.Fatalf("transitions = %d", e.Metrics().Transitions)
+	}
+}
+
+// TestObserveSampleResetRebaseline: a cumulative reading below the
+// previous one (fresh Nodes after a plan transition zero the counters)
+// must rebaseline, not fold in a wrapped-around delta.
+func TestObserveSampleResetRebaseline(t *testing.T) {
+	a := MustNew(Config{Decay: 1, MinProbes: 1})
+	a.ObserveSample(0, 100, 50)
+	if s, _ := a.Selectivity(0); s != 0.5 {
+		t.Fatalf("sel = %v, want 0.5", s)
+	}
+	// Counters reset (e.g. after Migrate rebuilt the tree), then a few
+	// fresh probes with a different rate.
+	a.ObserveSample(0, 4, 4)
+	if s, _ := a.Selectivity(0); s != 0.5 {
+		t.Fatalf("sel after reset reading = %v, want unchanged 0.5", s)
+	}
+	a.ObserveSample(0, 14, 14)
+	if s, _ := a.Selectivity(0); s != 1.0 {
+		t.Fatalf("sel after fresh delta = %v, want 1.0", s)
+	}
+}
+
+func TestObserveLatencySampleSmoothingAndReset(t *testing.T) {
+	a := MustNew(Config{Decay: 0.5})
+	a.ObserveLatencySample(2, 1000, 10) // 100ns/probe
+	if l, ok := a.ProbeLatency(2); !ok || l != 100 {
+		t.Fatalf("lat = %v/%v, want 100", l, ok)
+	}
+	a.ObserveLatencySample(2, 1000+3000, 10+10) // 300ns/probe sample
+	if l, _ := a.ProbeLatency(2); l != 200 {
+		t.Fatalf("smoothed lat = %v, want 200", l)
+	}
+	a.ObserveLatencySample(2, 50, 1) // reset: rebaseline only
+	if l, _ := a.ProbeLatency(2); l != 200 {
+		t.Fatalf("lat after reset reading = %v, want unchanged 200", l)
+	}
+}
+
+func TestLatencyCostOf(t *testing.T) {
+	sel := map[tuple.StreamID]float64{0: 0.5, 1: 2, 2: 1}
+	lat := map[tuple.StreamID]float64{0: 10, 1: 40, 2: 5}
+	// order [0 1 2]: probes into 1 = 0.5 → 0.5·40; probes into 2 =
+	// 0.5·2 → 1·5.
+	if got, want := LatencyCostOf([]tuple.StreamID{0, 1, 2}, sel, lat), 0.5*40+1.0*5; got != want {
+		t.Fatalf("LatencyCostOf = %v, want %v", got, want)
+	}
+	// Missing latency defaults to 1ns: degrades to probe counting.
+	if got, want := LatencyCostOf([]tuple.StreamID{0, 1, 2}, sel, nil), 0.5+1.0; got != want {
+		t.Fatalf("LatencyCostOf no-lat = %v, want %v", got, want)
+	}
+}
+
+// TestLatencyOrderPrefersCheapStates: equal selectivities, so pure
+// cardinality cost is indifferent — the latency rank must put the
+// cheap-to-probe states first and the advisor must re-plan on that
+// signal alone.
+func TestLatencyOrderPrefersCheapStates(t *testing.T) {
+	sel := map[tuple.StreamID]float64{0: 0.5, 1: 0.5, 2: 0.5}
+	lat := map[tuple.StreamID]float64{0: 1000, 1: 10, 2: 100}
+	got := LatencyOrder([]tuple.StreamID{0, 1, 2}, sel, lat)
+	// Position 0's state latency never enters the model, so the
+	// expensive state hides at the head; the rest go cheap-first.
+	want := []tuple.StreamID{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LatencyOrder = %v, want %v", got, want)
+		}
+	}
+	// Exchange-optimality spot check: the rank order is no worse than
+	// every permutation of this 3-stream set.
+	best := LatencyCostOf(got, sel, lat)
+	perms := [][]tuple.StreamID{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	for _, p := range perms {
+		if c := LatencyCostOf(p, sel, lat); c < best {
+			t.Fatalf("order %v costs %v, beats rank order %v at %v", p, c, got, best)
+		}
+	}
+}
+
+// TestProposeUsesLatencySignal: same selectivity everywhere, skewed
+// probe latencies. Without UseLatency the advisor sees nothing to
+// improve; with it, it proposes moving the expensive state out of the
+// probe-heavy downstream positions and traces the proposal.
+func TestProposeUsesLatencySignal(t *testing.T) {
+	tr := obs.NewTracer(8)
+	mk := func(useLat bool) *Advisor {
+		a := MustNew(Config{MinImprovement: 0.1, MinProbes: 1, Decay: 1, UseLatency: useLat, Tracer: tr, Query: "q"})
+		for id := tuple.StreamID(0); id < 3; id++ {
+			a.ObserveSample(id, 100, 50)
+		}
+		a.ObserveLatencySample(0, 100000, 10) // 10µs: expensive scan state
+		a.ObserveLatencySample(1, 1000, 10)
+		a.ObserveLatencySample(2, 1000, 10)
+		return a
+	}
+	cur := plan.MustLeftDeep(1, 2, 0)
+	if p, ok := mk(false).Propose(cur); ok {
+		t.Fatalf("latency-blind advisor proposed %v", p)
+	}
+	p, ok := mk(true).Propose(cur)
+	if !ok {
+		t.Fatal("latency-aware advisor proposed nothing")
+	}
+	order, _ := p.Order()
+	if order[0] != 0 {
+		t.Fatalf("expensive stream 0 not at the unprobed head in %v", order)
+	}
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.EvPlanProposed && ev.Query == "q" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no EvPlanProposed event traced")
 	}
 }

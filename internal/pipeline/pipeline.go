@@ -17,7 +17,8 @@ var ErrClosed = runtime.ErrClosed
 type Runner = runtime.Runner
 
 // Config parameterizes a Runner (its Shards field applies only to
-// Partitioned/runtime.Runtime). See runtime.Config.
+// Partitioned/runtime.Runtime). Setting Config.Obs turns on the
+// internal/obs latency instrumentation here too. See runtime.Config.
 type Config = runtime.Config
 
 // Overflow selects what Feed does when the input queue is full.

@@ -24,6 +24,7 @@ import (
 
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/workload"
 )
@@ -96,6 +97,11 @@ type Config struct {
 	// Shards is the worker count of a Runtime (default 1). Ignored by
 	// NewRunner.
 	Shards int
+	// Obs, when non-nil, turns on latency instrumentation: each
+	// shard's engine records into Obs.Recorder(shard) — merged by
+	// Runtime.ObsSnapshot — and migration lifecycle events go to
+	// Obs.Tracer. Takes precedence over Engine.Obs.
+	Obs *obs.Set
 }
 
 // NewRunner builds and starts a single-shard Runner. The Shards field
@@ -106,6 +112,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.QueueSize < 0 {
 		return nil, fmt.Errorf("runtime: negative queue size %d", cfg.QueueSize)
+	}
+	if cfg.Obs != nil && cfg.Engine.Obs == nil {
+		// Standalone runner: shard 0 of its Set. Runtime.New overrides
+		// Engine.Obs per shard before reaching here.
+		cfg.Engine.Obs = cfg.Obs.Recorder(0)
 	}
 	eng, err := engine.New(cfg.Engine)
 	if err != nil {
@@ -232,6 +243,11 @@ func (r *Runner) Metrics() (metrics.Snapshot, error) {
 // queued tuples. Unlike Metrics it reflects the instant of the call,
 // not the point after previously enqueued work. Safe after Close.
 func (r *Runner) Snapshot() metrics.Snapshot { return r.eng.Metrics() }
+
+// Obs returns the engine's latency recorder, nil when instrumentation
+// is off. The recorder's histograms are atomic: safe to snapshot from
+// any goroutine, concurrently with the worker.
+func (r *Runner) Obs() *obs.Recorder { return r.eng.Obs() }
 
 // Checkpoint serializes the engine's state to w on the worker, after
 // all previously enqueued messages — a consistent snapshot without

@@ -7,6 +7,7 @@ import (
 
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/workload"
 )
@@ -27,6 +28,7 @@ import (
 // a single-engine run; the tests assert exactly that.
 type Runtime struct {
 	shards []*Runner
+	obs    *obs.Set
 
 	outMu sync.Mutex
 }
@@ -42,7 +44,7 @@ func New(cfg Config) (*Runtime, error) {
 	if shards < 0 {
 		return nil, fmt.Errorf("runtime: need at least 1 shard, got %d", shards)
 	}
-	rt := &Runtime{}
+	rt := &Runtime{obs: cfg.Obs}
 	userOut := cfg.Engine.Output
 	if userOut != nil && shards > 1 {
 		cfg.Engine.Output = func(d engine.Delta) {
@@ -52,6 +54,11 @@ func New(cfg Config) (*Runtime, error) {
 		}
 	}
 	for i := 0; i < shards; i++ {
+		if cfg.Obs != nil {
+			// One recorder per shard; Set.Snapshot merges them, which
+			// is exact because bucket boundaries are shared.
+			cfg.Engine.Obs = cfg.Obs.Recorder(i)
+		}
 		r, err := NewRunner(cfg)
 		if err != nil {
 			for _, prev := range rt.shards {
@@ -144,6 +151,16 @@ func (rt *Runtime) Snapshot() metrics.Snapshot {
 	}
 	return metrics.MergeShards(snaps)
 }
+
+// Obs returns the runtime's observability set (Config.Obs), nil when
+// instrumentation is off.
+func (rt *Runtime) Obs() *obs.Set { return rt.obs }
+
+// ObsSnapshot merges the per-shard latency histograms live, the
+// observability companion of Snapshot: recorders are atomic, so
+// monitoring reads them concurrently with the workers. An empty
+// snapshot when instrumentation is off.
+func (rt *Runtime) ObsSnapshot() obs.SetSnapshot { return rt.obs.Snapshot() }
 
 // Shed sums the tuples dropped by the Shed overflow policy across
 // shards.

@@ -6,6 +6,7 @@ import (
 
 	"jisc/internal/core"
 	"jisc/internal/engine"
+	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
@@ -137,5 +138,91 @@ func TestCheckpointRequiresSingleShard(t *testing.T) {
 	}
 	if err := rt.CheckpointShard(5, nil); err == nil {
 		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// TestObsWiringShardedMigration wires an obs.Set through a sharded
+// runtime: every shard gets its own recorder, ObsSnapshot merges them,
+// and a fanned-out migration leaves one plan-installed trace event and
+// one Migrate histogram sample per shard.
+func TestObsWiringShardedMigration(t *testing.T) {
+	const shards = 3
+	set := obs.NewSet("q", 64)
+	rt := MustNew(Config{
+		Engine: engine.Config{
+			Plan: plan.MustLeftDeep(0, 1, 2), WindowSize: 128, Strategy: core.New(),
+		},
+		Shards: shards,
+		Obs:    set,
+	})
+	defer rt.Close()
+	if rt.Obs() != set {
+		t.Fatal("Obs() did not return the configured set")
+	}
+	for i := 0; i < 3000; i++ {
+		if err := rt.Feed(workload.Event{
+			Stream: tuple.StreamID(i % 3), Key: tuple.Value(i % 48),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Migrate(plan.MustLeftDeep(2, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := rt.ObsSnapshot()
+	if s.Feed.Count == 0 {
+		t.Fatal("merged snapshot has no feed samples")
+	}
+	if got := s.Migrate.Count; got != shards {
+		t.Fatalf("Migrate histogram count = %d, want one per shard (%d)", got, shards)
+	}
+	// Each shard recorded into its own recorder.
+	perShard := 0
+	for _, r := range set.Recorders() {
+		if r.Feed.Count() > 0 {
+			perShard++
+		}
+	}
+	if perShard != shards {
+		t.Fatalf("%d shards recorded feed latency, want %d", perShard, shards)
+	}
+	installed := map[int]bool{}
+	for _, ev := range set.Tracer.Events() {
+		if ev.Kind == obs.EvPlanInstalled {
+			installed[ev.Shard] = true
+		}
+	}
+	if len(installed) != shards {
+		t.Fatalf("plan-installed events from %d shards, want %d", len(installed), shards)
+	}
+}
+
+// TestObsStandaloneRunner checks the single-runner wiring: Config.Obs
+// without a Runtime lands on shard 0's recorder.
+func TestObsStandaloneRunner(t *testing.T) {
+	set := obs.NewSet("q", 16)
+	r := MustNewRunner(Config{
+		Engine: engine.Config{Plan: plan.MustLeftDeep(0, 1), WindowSize: 64},
+		Obs:    set,
+	})
+	defer r.Close()
+	for i := 0; i < 200; i++ {
+		if err := r.Feed(workload.Event{
+			Stream: tuple.StreamID(i % 2), Key: tuple.Value(i % 8),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Obs() != set.Recorder(0) {
+		t.Fatal("runner recorder is not the set's shard-0 recorder")
+	}
+	if r.Obs().Feed.Count() == 0 {
+		t.Fatal("no feed samples recorded")
 	}
 }

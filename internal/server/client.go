@@ -74,9 +74,18 @@ func (c *Client) Plan() (*plan.Plan, error) {
 	return plan.Parse(strings.TrimPrefix(resp, "PLAN "))
 }
 
-// Stats holds the server's one-line counters.
+// Stats holds the server's one-line counters. The latency fields are
+// zero until the server has recorded feed-latency samples.
 type Stats struct {
 	Input, Output, Transitions, Completions, Shed uint64
+	// FeedP50Ns and FeedP99Ns are the per-tuple feed-latency quantiles
+	// in nanoseconds (sampled, see internal/obs).
+	FeedP50Ns, FeedP99Ns uint64
+	// Episodes counts the just-in-time completion episodes run.
+	Episodes uint64
+	// SubsDropped counts subscribers the server disconnected for
+	// falling behind.
+	SubsDropped uint64
 }
 
 // Stats fetches the default query's counters.
@@ -110,6 +119,14 @@ func parseStats(resp string) (Stats, error) {
 			s.Completions = n
 		case "shed":
 			s.Shed = n
+		case "feed_p50_ns":
+			s.FeedP50Ns = n
+		case "feed_p99_ns":
+			s.FeedP99Ns = n
+		case "episodes":
+			s.Episodes = n
+		case "subs_dropped":
+			s.SubsDropped = n
 		}
 	}
 	return s, nil

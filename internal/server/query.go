@@ -5,17 +5,28 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"jisc/internal/engine"
+	"jisc/internal/obs"
 	"jisc/internal/pipeline"
 	"jisc/internal/runtime"
 )
 
 // query is one named continuous query hosted by the server: a sharded
-// runtime plus its subscriber set.
+// runtime plus its subscriber set and observability bundle.
 type query struct {
 	name   string
 	runner *runtime.Runtime
+	// obs carries the query's latency histograms (one recorder per
+	// shard) and migration-lifecycle tracer; the telemetry endpoint
+	// and the STATS command read it.
+	obs *obs.Set
+	// subsDropped counts subscribers disconnected for falling behind
+	// (buffer full). Exposed via STATS and /metrics — a silent drop
+	// looks identical to a quiet query from the consumer side, so the
+	// server must account for it.
+	subsDropped atomic.Uint64
 
 	mu      sync.Mutex
 	subs    map[int]chan string
@@ -25,6 +36,8 @@ type query struct {
 
 func newQuery(name string, cfg pipeline.Config, bufSize int) (*query, error) {
 	q := &query{name: name, subs: make(map[int]chan string), bufSize: bufSize}
+	q.obs = obs.NewSet(name, 0)
+	cfg.Obs = q.obs
 	cfg.Engine.Output = q.broadcast
 	r, err := runtime.New(cfg)
 	if err != nil {
@@ -36,7 +49,7 @@ func newQuery(name string, cfg pipeline.Config, bufSize int) (*query, error) {
 
 // broadcast fans one result out to the query's subscribers; it runs on
 // the query's worker goroutine and must not block, so stalled
-// subscribers are dropped.
+// subscribers are dropped — counted and traced, never silently.
 func (q *query) broadcast(d engine.Delta) {
 	verb := "RESULT"
 	if d.Retraction {
@@ -50,10 +63,20 @@ func (q *query) broadcast(d engine.Delta) {
 		default:
 			close(ch)
 			delete(q.subs, id)
+			q.subsDropped.Add(1)
+			q.obs.Tracer.Emit(obs.Event{
+				Kind: obs.EvSubscriberDropped, Query: q.name,
+				Key:  int64(id),
+				Note: fmt.Sprintf("subscriber %d fell %d lines behind; disconnected", id, q.bufSize),
+			})
 		}
 	}
 	q.mu.Unlock()
 }
+
+// dropped returns the number of subscribers disconnected for falling
+// behind.
+func (q *query) dropped() uint64 { return q.subsDropped.Load() }
 
 func (q *query) subscribe() (int, chan string) {
 	q.mu.Lock()

@@ -24,7 +24,22 @@
 // "QUERIES <names...>"; streamed results are "RESULT <key>
 // <fingerprint>" and "RETRACT <key> <fingerprint>" lines. Subscribers
 // with stalled connections are disconnected rather than allowed to
-// block a query.
+// block a query; every such drop is counted (subs_dropped) and traced.
+//
+// The STATS response is one line of space-separated key=value fields
+// (all unsigned decimal, unknown fields must be ignored by clients):
+//
+//	input/output/transitions/completions/shed   lifetime counters
+//	feed_p50_ns, feed_p99_ns                    per-tuple feed-latency
+//	                                            quantiles (sampled;
+//	                                            0 until samples exist)
+//	episodes                                    completion episodes run
+//	subs_dropped                                subscribers dropped for
+//	                                            falling behind
+//
+// ServeTelemetry additionally exposes HTTP observability (/metrics
+// Prometheus text, /trace JSON event dump, /healthz, /debug/pprof/) —
+// see its method documentation.
 package server
 
 import (
@@ -32,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,12 +82,14 @@ type Server struct {
 	bufSize  int
 	ln       net.Listener
 
-	mu       sync.Mutex
-	queries  map[string]*query
-	conns    map[net.Conn]struct{}
-	closed   bool
-	connWG   sync.WaitGroup
-	acceptWG sync.WaitGroup
+	mu          sync.Mutex
+	queries     map[string]*query
+	conns       map[net.Conn]struct{}
+	closed      bool
+	telemetry   *http.Server
+	telemetryLn net.Listener
+	connWG      sync.WaitGroup
+	acceptWG    sync.WaitGroup
 }
 
 // New builds a server and starts the default query (when the config
@@ -345,8 +363,10 @@ func (s *Server) handle(conn net.Conn) {
 				werr = respond(merr)
 				break
 			}
-			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d",
-				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed())
+			o := q.obs.Snapshot()
+			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d",
+				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed(),
+				o.Feed.Quantile(0.50), o.Feed.Quantile(0.99), o.Completion.Count, q.dropped())
 		case "PLAN":
 			q, _, err := s.splitQuery(rest)
 			if err != nil {
@@ -441,7 +461,11 @@ func (s *Server) Close() {
 		queries = append(queries, q)
 		delete(s.queries, name)
 	}
+	telemetry := s.telemetry
 	s.mu.Unlock()
+	if telemetry != nil {
+		telemetry.Close()
+	}
 	if s.ln != nil {
 		s.ln.Close()
 		s.acceptWG.Wait()
