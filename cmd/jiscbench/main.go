@@ -34,6 +34,8 @@ func main() {
 		shards  = flag.Int("shards", 1, "run the Fig-7/8 JISC measurement through the sharded runtime with N shards")
 		latency = flag.Bool("latency", false, "run the per-phase transition latency benchmark (p50/p95/p99/max per strategy) instead of a figure")
 		latOut  = flag.String("latencyout", "BENCH_latency.json", "output path for the -latency JSON report")
+		wal     = flag.Bool("wal", false, "run the WAL ingest-throughput benchmark (fsync off/batch/always vs baseline, 1-4 shards) instead of a figure")
+		walOut  = flag.String("walout", "BENCH_wal.json", "output path for the -wal JSON report")
 	)
 	flag.Parse()
 
@@ -58,6 +60,12 @@ func main() {
 	if *latency {
 		run("Transition latency (Fig 7/8 conditions)", func() error {
 			return runLatency(cfg, *latOut, w)
+		})
+		return
+	}
+	if *wal {
+		run("WAL ingest throughput", func() error {
+			return runWAL(cfg, *walOut, w)
 		})
 		return
 	}
@@ -187,6 +195,38 @@ func runLatency(cfg bench.Config, out string, w *os.File) error {
 		WorstCase: worst,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", out)
+	return nil
+}
+
+// runWAL measures ingest throughput per fsync policy against the
+// durability-off baseline and writes the JSON report to out.
+func runWAL(cfg bench.Config, out string, w *os.File) error {
+	report, err := bench.WALBench(cfg, []int{1, 2, 4}, w)
+	if err != nil {
+		return err
+	}
+	full := struct {
+		Description string          `json:"description"`
+		Go          string          `json:"go"`
+		Config      bench.Config    `json:"config"`
+		Report      bench.WALReport `json:"report"`
+	}{
+		Description: "Ingest throughput (tuples/s, best of reps) through the sharded runtime " +
+			"with durability off (baseline) and with the write-ahead log under each fsync " +
+			"policy: off (no fsync), batch (group commit, the default), always (fsync per " +
+			"acknowledgment). Regenerate with: jiscbench -wal",
+		Go:     runtime.Version(),
+		Config: cfg,
+		Report: report,
+	}
+	buf, err := json.MarshalIndent(full, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,13 @@
 //
 //	jiscd -addr :7878 -plan 0,1,2 -window 10000 -strategy jisc
 //
+// With -wal DIR every mutating command (FEED, MIGRATE, CREATE, DROP)
+// is write-ahead logged before it is acknowledged, and a restart
+// recovers the full topology and per-query state from DIR — kill -9
+// the daemon and bring it back up with the same flags. -fsync picks
+// the durability/throughput trade-off: always, batch (group commit,
+// the default), or off.
+//
 // Protocol (one line per command; [query] defaults to "default"):
 //
 //	FEED [query] <stream> <key>
@@ -25,6 +32,7 @@ import (
 	"syscall"
 
 	"jisc/internal/core"
+	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/migrate"
 	"jisc/internal/pipeline"
@@ -43,6 +51,10 @@ func main() {
 		shedding  = flag.Bool("shed", false, "drop tuples instead of blocking when the queue is full")
 		shards    = flag.Int("shards", 1, "worker shards per query (hash-partitioned by join key)")
 		telemetry = flag.String("telemetry", "", "HTTP observability address, e.g. 127.0.0.1:9090 (/metrics, /trace, /healthz, /debug/pprof/); empty = off")
+		walDir    = flag.String("wal", "", "durability directory: write-ahead log every mutating command and recover from it on start; empty = off")
+		fsyncMode = flag.String("fsync", "batch", "WAL fsync policy: always (fsync before every ack), batch (group commit), off (no fsync)")
+		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window for -fsync batch (0 = default 2ms)")
+		ckptIvl   = flag.Duration("checkpoint-interval", 0, "background checkpoint period (0 = default 15s, negative = never)")
 	)
 	flag.Parse()
 
@@ -71,19 +83,44 @@ func main() {
 		overflow = pipeline.Shed
 	}
 
-	srv, err := server.New(server.Config{Pipeline: pipeline.Config{
-		Engine: engine.Config{
-			Plan:       p,
-			WindowSize: *window,
-			TimeSpan:   *timeSpan,
-			Strategy:   strategy,
+	var dur durable.Options
+	if *walDir != "" {
+		if *shedding {
+			die(fmt.Errorf("-shed cannot be combined with -wal: a shed tuple would be logged but dropped, so replay would resurrect it"))
+		}
+		policy, err := durable.ParsePolicy(*fsyncMode)
+		if err != nil {
+			die(err)
+		}
+		dur = durable.Options{
+			Dir:                *walDir,
+			Fsync:              policy,
+			FlushInterval:      *fsyncIvl,
+			CheckpointInterval: *ckptIvl,
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Pipeline: pipeline.Config{
+			Engine: engine.Config{
+				Plan:       p,
+				WindowSize: *window,
+				TimeSpan:   *timeSpan,
+				Strategy:   strategy,
+			},
+			QueueSize: *queue,
+			Overflow:  overflow,
+			Shards:    *shards,
 		},
-		QueueSize: *queue,
-		Overflow:  overflow,
-		Shards:    *shards,
-	}})
+		Durable: dur,
+	})
 	if err != nil {
 		die(err)
+	}
+	if dur.Enabled() {
+		ds := srv.DurableStats()
+		fmt.Printf("jiscd: recovered from %s in %.3fs (%d events replayed, %d torn tails truncated; fsync %s)\n",
+			*walDir, float64(ds.RecoveryNs)/1e9, ds.RecoveredEvents, ds.TornTruncations, dur.Fsync)
 	}
 	if err := srv.Listen(*addr); err != nil {
 		die(err)

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildJiscd compiles the daemon once per test binary.
+func buildJiscd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "jiscd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startJiscd launches the daemon and waits until its TCP port accepts.
+func startJiscd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	// Ask the kernel for a free port, then hand it to the daemon. The
+	// tiny race (the port being grabbed between Close and exec) is
+	// acceptable in a test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return cmd, addr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jiscd never came up on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+type lineConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialDaemon(t *testing.T, addr string) *lineConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &lineConn{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *lineConn) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading response to %q: %v", line, err)
+	}
+	return strings.TrimSpace(resp)
+}
+
+func statOf(t *testing.T, stats, key string) string {
+	t.Helper()
+	for _, f := range strings.Fields(stats) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return v
+		}
+	}
+	t.Fatalf("stats %q has no %q field", stats, key)
+	return ""
+}
+
+// TestJiscdSurvivesSIGKILL is the quick-start promise as a test: run
+// the daemon with -wal, feed it and migrate it, kill -9 mid-flight,
+// restart with the same flags, and find the counters, plan, and query
+// topology exactly where they were.
+func TestJiscdSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildJiscd(t)
+	wal := filepath.Join(t.TempDir(), "wal")
+	args := []string{"-wal", wal, "-fsync", "always", "-plan", "0,1,2", "-window", "100"}
+
+	proc, addr := startJiscd(t, bin, args...)
+	c := dialDaemon(t, addr)
+	for _, line := range []string{
+		"FEED 0 7", "FEED 1 7", "FEED 2 7",
+		"MIGRATE ((0 2) 1)",
+		"FEED 0 9",
+		"CREATE pairs 50 (0 1)",
+		"FEED pairs 0 3",
+	} {
+		if resp := c.cmd(t, line); resp != "OK" {
+			t.Fatalf("%s -> %s", line, resp)
+		}
+	}
+	stats := c.cmd(t, "STATS")
+	wantInput := statOf(t, stats, "input")
+	wantOutput := statOf(t, stats, "output")
+	wantPlan := c.cmd(t, "PLAN")
+
+	// The unclean death: no shutdown handler runs, no buffer flushes.
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	_, addr2 := startJiscd(t, bin, args...)
+	c2 := dialDaemon(t, addr2)
+	stats2 := c2.cmd(t, "STATS")
+	if got := statOf(t, stats2, "input"); got != wantInput {
+		t.Fatalf("input after kill -9 = %s, want %s (stats %q)", got, wantInput, stats2)
+	}
+	if got := statOf(t, stats2, "output"); got != wantOutput {
+		t.Fatalf("output after kill -9 = %s, want %s", got, wantOutput)
+	}
+	if got := statOf(t, stats2, "recovered_events"); got == "0" {
+		t.Fatalf("restart replayed nothing: %s", stats2)
+	}
+	if got := c2.cmd(t, "PLAN"); got != wantPlan {
+		t.Fatalf("plan after kill -9 = %q, want %q", got, wantPlan)
+	}
+	if list := c2.cmd(t, "LIST"); !strings.Contains(list, "pairs") {
+		t.Fatalf("CREATEd query lost: %q", list)
+	}
+	// And the recovered daemon still works.
+	if resp := c2.cmd(t, "FEED 1 9"); resp != "OK" {
+		t.Fatalf("post-recovery feed: %s", resp)
+	}
+}
+
+// -shed with -wal must be rejected at startup: shed tuples would be
+// logged but dropped, so replay would resurrect them.
+func TestJiscdRejectsShedWithWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildJiscd(t)
+	cmd := exec.Command(bin, "-wal", t.TempDir(), "-shed")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("jiscd accepted -shed with -wal:\n%s", out)
+	}
+	if !strings.Contains(string(out), "shed") {
+		t.Fatalf("unhelpful error:\n%s", out)
+	}
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"jisc/internal/core"
+	"jisc/internal/durable"
+	"jisc/internal/engine"
+	"jisc/internal/runtime"
+)
+
+// The WAL benchmark answers the durability subsystem's headline cost
+// question: what does write-ahead logging every tuple do to ingest
+// throughput, per fsync policy? The baseline is the identical sharded
+// runtime with durability off; "off" isolates the logging/framing
+// cost, "batch" adds group-commit fsyncs (the intended operating
+// point), "always" pays one fsync per acknowledgment (the strict
+// bound). The target from the issue: batch should land within ~15% of
+// baseline — group commit amortizes the sync, so logging cost is
+// framing plus one buffered write per tuple.
+
+// WALRow is one (shards, policy) throughput measurement.
+type WALRow struct {
+	Shards int    `json:"shards"`
+	Mode   string `json:"mode"` // baseline, off, batch, always
+	// TuplesPerSec is the best-of-reps ingest rate over the full
+	// feed+flush cycle.
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// VsBaseline is TuplesPerSec over the same-shard baseline rate
+	// (1.0 = free durability; the baseline row reports 1.0).
+	VsBaseline float64 `json:"vs_baseline"`
+	// Fsyncs is the number of fsync calls the policy issued during the
+	// measured run.
+	Fsyncs uint64 `json:"fsyncs"`
+}
+
+// WALReport is the result of one WALBench run.
+type WALReport struct {
+	Tuples int      `json:"tuples"`
+	Window int      `json:"window"`
+	Rows   []WALRow `json:"rows"`
+}
+
+// walModes orders the policies from cheapest to strictest.
+var walModes = []struct {
+	name  string
+	fsync durable.Policy
+}{
+	{"off", durable.FsyncOff},
+	{"batch", durable.FsyncBatch},
+	{"always", durable.FsyncAlways},
+}
+
+// WALBench measures ingest throughput with durability off (baseline)
+// and under each fsync policy, for each shard count. Every variant
+// feeds the identical tuple sequence through the identical runtime;
+// only the durability options differ. WAL directories are created
+// under the system temp dir and removed afterwards.
+func WALBench(cfg Config, shardCounts []int, w io.Writer) (WALReport, error) {
+	if err := cfg.validate(); err != nil {
+		return WALReport{}, err
+	}
+	const streams = 3
+	evs := cfg.source(streams).Take(cfg.Tuples)
+	report := WALReport{Tuples: cfg.Tuples, Window: cfg.Window}
+
+	fprintf(w, "WAL ingest throughput, %d tuples, window %d, reps %d (best)\n",
+		cfg.Tuples, cfg.Window, cfg.reps())
+	fprintf(w, "%-7s %-9s %14s %12s %10s\n", "shards", "mode", "tuples/s", "vs-baseline", "fsyncs")
+
+	measure := func(shards int, dur durable.Options) (float64, uint64, error) {
+		best := time.Duration(0)
+		var fsyncs uint64
+		for rep := 0; rep < cfg.reps(); rep++ {
+			opts := dur
+			if opts.Enabled() {
+				dir, err := os.MkdirTemp("", "jisc-walbench-")
+				if err != nil {
+					return 0, 0, err
+				}
+				defer os.RemoveAll(dir)
+				opts.Dir = dir
+			}
+			rt, err := runtime.New(runtime.Config{
+				Engine: engine.Config{
+					Plan:       initialPlan(streams),
+					WindowSize: cfg.Window,
+					Strategy:   core.New(),
+				},
+				Shards:     shards,
+				QueueSize:  4096,
+				Durability: opts,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			start := time.Now()
+			for _, ev := range evs {
+				if err := rt.Feed(ev); err != nil {
+					rt.Close()
+					return 0, 0, err
+				}
+			}
+			if err := rt.Flush(); err != nil {
+				rt.Close()
+				return 0, 0, err
+			}
+			elapsed := time.Since(start)
+			if best == 0 || elapsed < best {
+				best = elapsed
+				fsyncs = rt.DurableStats().Fsyncs
+			}
+			rt.Close()
+		}
+		return float64(len(evs)) / best.Seconds(), fsyncs, nil
+	}
+
+	for _, shards := range shardCounts {
+		baseRate, _, err := measure(shards, durable.Options{})
+		if err != nil {
+			return WALReport{}, err
+		}
+		report.Rows = append(report.Rows, WALRow{
+			Shards: shards, Mode: "baseline", TuplesPerSec: baseRate, VsBaseline: 1.0,
+		})
+		fprintf(w, "%-7d %-9s %14.0f %11.2fx %10d\n", shards, "baseline", baseRate, 1.0, 0)
+		for _, mode := range walModes {
+			rate, fsyncs, err := measure(shards, durable.Options{
+				Dir:   "pending", // replaced per rep by measure
+				Fsync: mode.fsync,
+				// The benchmark measures steady-state logging, not
+				// checkpoint cost; checkpoints have their own trigger.
+				CheckpointInterval: -1,
+			})
+			if err != nil {
+				return WALReport{}, err
+			}
+			report.Rows = append(report.Rows, WALRow{
+				Shards: shards, Mode: mode.name,
+				TuplesPerSec: rate, VsBaseline: rate / baseRate, Fsyncs: fsyncs,
+			})
+			fprintf(w, "%-7d %-9s %14.0f %11.2fx %10d\n", shards, mode.name, rate, rate/baseRate, fsyncs)
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The WAL benchmark is a smoke test here: correct rows per (shards,
+// mode), sane rates, and fsync counts consistent with the policies.
+// Throughput ratios are not asserted — CI machines are too noisy — the
+// committed BENCH_wal.json records a quiet-machine run.
+func TestWALBenchRuns(t *testing.T) {
+	cfg := tiny()
+	cfg.Reps = 1
+	var out bytes.Buffer
+	report, err := WALBench(cfg, []int{1, 2}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 2*4 {
+		t.Fatalf("%d rows, want 4 modes x 2 shard counts", len(report.Rows))
+	}
+	byMode := map[string]WALRow{}
+	for _, r := range report.Rows {
+		if r.TuplesPerSec <= 0 {
+			t.Fatalf("row %+v has no throughput", r)
+		}
+		if r.Shards == 1 {
+			byMode[r.Mode] = r
+		}
+	}
+	if byMode["baseline"].Fsyncs != 0 {
+		t.Fatalf("baseline fsynced %d times", byMode["baseline"].Fsyncs)
+	}
+	if byMode["off"].Fsyncs != 0 {
+		t.Fatalf("fsync=off fsynced %d times", byMode["off"].Fsyncs)
+	}
+	// Always: one fsync per acknowledged tuple (plus rotations).
+	if got := byMode["always"].Fsyncs; got < uint64(cfg.Tuples) {
+		t.Fatalf("fsync=always issued %d fsyncs for %d tuples", got, cfg.Tuples)
+	}
+	// Batch: group commit must amortize — far fewer syncs than tuples.
+	if got := byMode["batch"].Fsyncs; got >= uint64(cfg.Tuples) {
+		t.Fatalf("fsync=batch issued %d fsyncs for %d tuples; group commit is not batching", got, cfg.Tuples)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("baseline")) {
+		t.Fatal("report table missing baseline row")
+	}
+}

@@ -1,0 +1,232 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"jisc/internal/tuple"
+)
+
+// The log is a sequence of self-delimiting frames:
+//
+//	frame   := len:u32 | crc:u32 | payload       (little endian)
+//	payload := kind:u8 | seq:u64 | body
+//
+// crc is CRC32C (Castagnoli) over the payload, so a torn or corrupted
+// tail is detected without trusting the length field alone. Bodies:
+//
+//	feed    := stream:u8 | key:u64
+//	migrate := planLen:u16 | plan bytes
+//	create  := nameLen:u8 | name | window:u32 | planLen:u16 | plan
+//	drop    := nameLen:u8 | name
+//
+// seq is the per-log record sequence number, assigned by the log on
+// append, strictly increasing from 1 with no gaps. Checkpoints record
+// the seq they cover; replay skips records at or below it.
+
+// RecordKind discriminates log records.
+type RecordKind uint8
+
+const (
+	// KindFeed is one input tuple.
+	KindFeed RecordKind = iota + 1
+	// KindMigrate is a plan transition (the plan's infix form).
+	KindMigrate
+	// KindCreate is a query creation (catalog log only).
+	KindCreate
+	// KindDrop is a query removal (catalog log only).
+	KindDrop
+)
+
+// Record is one durable log entry. Which fields are meaningful depends
+// on Kind.
+type Record struct {
+	Kind RecordKind
+	Seq  uint64
+
+	// Stream and Key carry a KindFeed tuple.
+	Stream tuple.StreamID
+	Key    tuple.Value
+
+	// Plan is the plan's infix form for KindMigrate and KindCreate.
+	Plan string
+	// Name and Window identify a query for KindCreate / KindDrop.
+	Name   string
+	Window int
+}
+
+const (
+	frameHeader = 8       // len + crc
+	maxPayload  = 1 << 20 // sanity bound while scanning; real payloads are tiny
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var le = binary.LittleEndian
+
+// appendFrame encodes r as one frame onto buf.
+func appendFrame(buf []byte, r Record) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header, patched below
+	buf = append(buf, byte(r.Kind))
+	buf = le.AppendUint64(buf, r.Seq)
+	switch r.Kind {
+	case KindFeed:
+		buf = append(buf, byte(r.Stream))
+		buf = le.AppendUint64(buf, uint64(r.Key))
+	case KindMigrate:
+		var err error
+		if buf, err = appendString16(buf, r.Plan, "plan"); err != nil {
+			return nil, err
+		}
+	case KindCreate:
+		var err error
+		if buf, err = appendString8(buf, r.Name, "name"); err != nil {
+			return nil, err
+		}
+		buf = le.AppendUint32(buf, uint32(r.Window))
+		if buf, err = appendString16(buf, r.Plan, "plan"); err != nil {
+			return nil, err
+		}
+	case KindDrop:
+		var err error
+		if buf, err = appendString8(buf, r.Name, "name"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("durable: encoding unknown record kind %d", r.Kind)
+	}
+	payload := buf[start+frameHeader:]
+	le.PutUint32(buf[start:], uint32(len(payload)))
+	le.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+func appendString8(buf []byte, s, what string) ([]byte, error) {
+	if len(s) > 255 {
+		return nil, fmt.Errorf("durable: %s longer than 255 bytes", what)
+	}
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...), nil
+}
+
+func appendString16(buf []byte, s, what string) ([]byte, error) {
+	if len(s) > 1<<16-1 {
+		return nil, fmt.Errorf("durable: %s longer than 65535 bytes", what)
+	}
+	buf = le.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...), nil
+}
+
+// decodePayload decodes one CRC-validated payload.
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 9 {
+		return r, fmt.Errorf("durable: payload of %d bytes is shorter than the kind+seq header", len(p))
+	}
+	r.Kind = RecordKind(p[0])
+	r.Seq = le.Uint64(p[1:])
+	body := p[9:]
+	switch r.Kind {
+	case KindFeed:
+		if len(body) != 9 {
+			return r, fmt.Errorf("durable: feed body is %d bytes, want 9", len(body))
+		}
+		r.Stream = tuple.StreamID(body[0])
+		r.Key = tuple.Value(le.Uint64(body[1:]))
+	case KindMigrate:
+		s, rest, err := takeString16(body, "plan")
+		if err != nil {
+			return r, err
+		}
+		if len(rest) != 0 {
+			return r, fmt.Errorf("durable: %d trailing bytes after migrate body", len(rest))
+		}
+		r.Plan = s
+	case KindCreate:
+		name, rest, err := takeString8(body, "name")
+		if err != nil {
+			return r, err
+		}
+		if len(rest) < 4 {
+			return r, fmt.Errorf("durable: create body truncated before window")
+		}
+		r.Name = name
+		r.Window = int(le.Uint32(rest))
+		plan, rest, err := takeString16(rest[4:], "plan")
+		if err != nil {
+			return r, err
+		}
+		if len(rest) != 0 {
+			return r, fmt.Errorf("durable: %d trailing bytes after create body", len(rest))
+		}
+		r.Plan = plan
+	case KindDrop:
+		name, rest, err := takeString8(body, "name")
+		if err != nil {
+			return r, err
+		}
+		if len(rest) != 0 {
+			return r, fmt.Errorf("durable: %d trailing bytes after drop body", len(rest))
+		}
+		r.Name = name
+	default:
+		return r, fmt.Errorf("durable: unknown record kind %d", p[0])
+	}
+	return r, nil
+}
+
+func takeString8(b []byte, what string) (string, []byte, error) {
+	if len(b) < 1 || len(b) < 1+int(b[0]) {
+		return "", nil, fmt.Errorf("durable: %s truncated", what)
+	}
+	n := int(b[0])
+	return string(b[1 : 1+n]), b[1+n:], nil
+}
+
+func takeString16(b []byte, what string) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("durable: %s length truncated", what)
+	}
+	n := int(le.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("durable: %s truncated", what)
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// scanFrames decodes frames from data in order, calling fn for each.
+// It returns the byte length of the valid prefix: everything past it
+// is a torn tail (short frame, bad length, or CRC mismatch) that the
+// caller should truncate at this record boundary. A frame whose CRC
+// validates but whose payload does not decode is not a torn tail — it
+// means writer/reader version skew or silent corruption — and is
+// returned as a hard error along with the boundary offset.
+func scanFrames(data []byte, fn func(Record) error) (int64, error) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return int64(off), nil
+		}
+		n := int(le.Uint32(rest))
+		if n == 0 || n > maxPayload || len(rest)-frameHeader < n {
+			return int64(off), nil
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != le.Uint32(rest[4:]) {
+			return int64(off), nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return int64(off), fmt.Errorf("durable: CRC-valid record at offset %d does not decode: %w", off, err)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return int64(off), err
+			}
+		}
+		off += frameHeader + n
+	}
+}

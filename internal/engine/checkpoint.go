@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"jisc/internal/metrics"
 	"jisc/internal/plan"
 	"jisc/internal/tuple"
 	"jisc/internal/window"
@@ -18,8 +19,10 @@ import (
 // Code (strategy, theta predicate, output) is not serialized; the
 // restoring process supplies it again through the Config.
 
-// snapVersion guards the checkpoint format.
-const snapVersion = 1
+// snapVersion guards the checkpoint format. Version 2 added the
+// lifetime metrics counters, so a restored node's STATS continue from
+// where the crashed one left off.
+const snapVersion = 2
 
 type tupleSnap struct {
 	Key     tuple.Value
@@ -80,6 +83,7 @@ type engineSnap struct {
 	Windows        []windowSnap
 	Probes         map[tuple.StreamSet]uint64
 	Matches        map[tuple.StreamSet]uint64
+	Counters       metrics.Snapshot
 }
 
 // Checkpoint writes the engine's execution state to w. The engine must
@@ -102,6 +106,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		Born:           e.born,
 		Probes:         map[tuple.StreamSet]uint64{},
 		Matches:        map[tuple.StreamSet]uint64{},
+		Counters:       e.met.Snapshot(),
 	}
 	for _, n := range e.Nodes() {
 		snap.Probes[n.Set] = n.Probes
@@ -160,7 +165,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: decoding checkpoint: %w", err)
 	}
 	if snap.Version != snapVersion {
-		return nil, fmt.Errorf("engine: checkpoint version %d, want %d", snap.Version, snapVersion)
+		return nil, fmt.Errorf("engine: checkpoint snapVersion %d, this build reads %d (re-checkpoint with a matching build)", snap.Version, snapVersion)
 	}
 	p, err := plan.Parse(snap.Plan)
 	if err != nil {
@@ -181,6 +186,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
+	e.met.Restore(snap.Counters)
 	e.tick = snap.Tick
 	e.transitionTick = snap.TransitionTick
 	for id, s := range snap.Seqs {

@@ -224,6 +224,16 @@ func (e *Engine) Theta() func(probe, stored *tuple.Tuple) bool { return e.cfg.Th
 // composite tuples through.
 func (e *Engine) Builder() *tuple.Builder { return e.scratch.builder() }
 
+// SetOutput replaces the output callback. The engine must be quiescent
+// (no Feed in progress). The durability layer uses it to silence
+// output while replaying the write-ahead log — those results were
+// already emitted before the crash — and to restore the real sink
+// afterwards.
+func (e *Engine) SetOutput(out Output) {
+	e.out = out
+	e.cfg.Output = out
+}
+
 // Close releases the engine's pooled scratch resources. The engine
 // must not be fed afterwards; tuples it produced stay valid.
 func (e *Engine) Close() { e.scratch.release() }

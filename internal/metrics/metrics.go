@@ -103,6 +103,28 @@ func (c *Collector) MaxOutputLatency() time.Duration {
 	return m
 }
 
+// Restore overwrites the collector with s — used when resuming an
+// engine from a checkpoint, so lifetime counters survive a restart
+// instead of resetting to zero. Not safe concurrently with counter
+// updates; call it only while the owning executor is quiescent.
+func (c *Collector) Restore(s Snapshot) {
+	c.Input.Store(s.Input)
+	c.Output.Store(s.Output)
+	c.Probes.Store(s.Probes)
+	c.Inserts.Store(s.Inserts)
+	c.Completions.Store(s.Completions)
+	c.CompletedEntries.Store(s.CompletedEntries)
+	c.Evictions.Store(s.Evictions)
+	c.DupDropped.Store(s.DupDropped)
+	c.EddyVisits.Store(s.EddyVisits)
+	c.Transitions.Store(s.Transitions)
+	c.MigrationWork.Store(s.MigrationWork)
+	c.mu.Lock()
+	c.latencies = append([]time.Duration(nil), s.OutputLatencies...)
+	c.awaitingOutput = false
+	c.mu.Unlock()
+}
+
 // Snapshot is an immutable copy of the collector for reporting.
 type Snapshot struct {
 	Input, Output, Probes, Inserts           uint64

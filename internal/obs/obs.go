@@ -62,6 +62,15 @@ type Recorder struct {
 	// clearing phase plus the strategy's OnTransition (for an eager
 	// strategy, the halt the paper's §3.2 describes).
 	Migrate Histogram
+	// WALAppend and WALFsync time the durability layer: per-record
+	// write-ahead-log append (encode + buffered write + any policy
+	// fsync) and per-fsync flush+sync duration (one sample per group
+	// commit under the batch policy). Unlike the engine histograms
+	// these are recorded from producer and flusher goroutines, which
+	// is safe — Histogram is atomic; only the Sample* phase counters
+	// are executor-only, and the WAL does not use them.
+	WALAppend Histogram
+	WALFsync  Histogram
 
 	// Query and Shard label trace events emitted through this
 	// recorder.
@@ -110,6 +119,8 @@ func (r *Recorder) Snapshot() SetSnapshot {
 		Build:      r.Build.Snapshot(),
 		Completion: r.Completion.Snapshot(),
 		Migrate:    r.Migrate.Snapshot(),
+		WALAppend:  r.WALAppend.Snapshot(),
+		WALFsync:   r.WALFsync.Snapshot(),
 	}
 }
 
@@ -184,6 +195,8 @@ type SetSnapshot struct {
 	Build      HistSnapshot
 	Completion HistSnapshot
 	Migrate    HistSnapshot
+	WALAppend  HistSnapshot
+	WALFsync   HistSnapshot
 
 	// TraceDropped and TraceEmitted mirror the tracer's drop
 	// accounting at snapshot time.
@@ -199,6 +212,8 @@ func (s SetSnapshot) Add(o SetSnapshot) SetSnapshot {
 		Build:        s.Build.Add(o.Build),
 		Completion:   s.Completion.Add(o.Completion),
 		Migrate:      s.Migrate.Add(o.Migrate),
+		WALAppend:    s.WALAppend.Add(o.WALAppend),
+		WALFsync:     s.WALFsync.Add(o.WALFsync),
 		TraceDropped: s.TraceDropped + o.TraceDropped,
 		TraceEmitted: s.TraceEmitted + o.TraceEmitted,
 	}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
 	"jisc/internal/obs"
@@ -102,6 +103,13 @@ type Config struct {
 	// Runtime.ObsSnapshot — and migration lifecycle events go to
 	// Obs.Tracer. Takes precedence over Engine.Obs.
 	Obs *obs.Set
+	// Durability, when enabled (Dir set), makes the Runtime durable:
+	// every Feed and Migrate is appended to a per-shard write-ahead log
+	// before it is enqueued, background checkpoints bound replay time,
+	// and New recovers each shard from disk (checkpoint + WAL tail)
+	// instead of starting empty. Incompatible with the Shed overflow
+	// policy. Ignored by NewRunner.
+	Durability durable.Options
 }
 
 // NewRunner builds and starts a single-shard Runner. The Shards field
@@ -122,6 +130,16 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newRunnerWith(eng, cfg), nil
+}
+
+// newRunnerWith wraps an existing engine — e.g. one rebuilt by crash
+// recovery — in a started Runner. cfg supplies only the queue
+// parameters; its Engine section is ignored.
+func newRunnerWith(eng *engine.Engine, cfg Config) *Runner {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
 	r := &Runner{
 		in:       make(chan message, cfg.QueueSize),
 		overflow: cfg.Overflow,
@@ -129,7 +147,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	r.worker.Add(1)
 	go r.loop()
-	return r, nil
+	return r
 }
 
 // MustNewRunner is NewRunner but panics on error.
@@ -253,11 +271,26 @@ func (r *Runner) Obs() *obs.Recorder { return r.eng.Obs() }
 // all previously enqueued messages — a consistent snapshot without
 // stopping producers (they block on the queue at most briefly).
 func (r *Runner) Checkpoint(w io.Writer) error {
-	done := make(chan error, 1)
-	if err := r.send(message{kind: msgCheckpoint, ckptW: w, done: done}); err != nil {
+	done, err := r.checkpointAsync(w)
+	if err != nil {
 		return err
 	}
 	return <-done
+}
+
+// checkpointAsync enqueues a checkpoint control message and returns
+// without waiting for the worker to serialize. The caller must not
+// touch w until the returned channel delivers. The durable runtime
+// uses this to pin a checkpoint at an exact WAL position: it enqueues
+// while holding the shard's log mutex (so no feed can slip between the
+// captured sequence number and the snapshot point) but waits for the
+// serialization itself with the mutex released.
+func (r *Runner) checkpointAsync(w io.Writer) (<-chan error, error) {
+	done := make(chan error, 1)
+	if err := r.send(message{kind: msgCheckpoint, ckptW: w, done: done}); err != nil {
+		return nil, err
+	}
+	return done, nil
 }
 
 // Plan returns the currently executing plan, observed on the worker

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
 	"jisc/internal/obs"
@@ -31,6 +32,16 @@ type Runtime struct {
 	obs    *obs.Set
 
 	outMu sync.Mutex
+
+	// Durability state, nil/zero when Config.Durability is off. dur[i]
+	// pairs shard i's WAL with the mutex that keeps WAL order identical
+	// to enqueue order.
+	dur       []*durShard
+	durOpts   durable.Options
+	durStats  *durable.Stats
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a Runtime with cfg.Shards workers (default 1).
@@ -52,6 +63,12 @@ func New(cfg Config) (*Runtime, error) {
 			userOut(d)
 			rt.outMu.Unlock()
 		}
+	}
+	if cfg.Durability.Enabled() {
+		if err := rt.recoverDurable(cfg, shards); err != nil {
+			return nil, err
+		}
+		return rt, nil
 	}
 	for i := 0; i < shards; i++ {
 		if cfg.Obs != nil {
@@ -90,24 +107,41 @@ func (rt *Runtime) Partitions() int { return len(rt.shards) }
 // (checkpointing, diagnostics).
 func (rt *Runtime) Shard(i int) *Runner { return rt.shards[i] }
 
-// route picks the shard for a join key. Fibonacci hashing spreads
-// sequential keys.
-func (rt *Runtime) route(ev workload.Event) *Runner {
+// route picks the shard index for a join key. Fibonacci hashing
+// spreads sequential keys.
+func (rt *Runtime) route(ev workload.Event) int {
 	if len(rt.shards) == 1 {
-		return rt.shards[0]
+		return 0
 	}
 	h := uint64(ev.Key) * 0x9E3779B97F4A7C15
-	return rt.shards[h%uint64(len(rt.shards))]
+	return int(h % uint64(len(rt.shards)))
 }
 
-// Feed enqueues one tuple on its key's shard.
-func (rt *Runtime) Feed(ev workload.Event) error { return rt.route(ev).Feed(ev) }
+// Feed enqueues one tuple on its key's shard. With durability on, the
+// tuple is appended to that shard's write-ahead log first; it is not
+// enqueued (and Feed does not return nil) unless the append succeeded.
+func (rt *Runtime) Feed(ev workload.Event) error {
+	i := rt.route(ev)
+	if rt.dur != nil {
+		return rt.feedDurable(i, ev)
+	}
+	return rt.shards[i].Feed(ev)
+}
 
 // Migrate transitions every shard to the new plan, in-band per shard.
 // It returns the first error; shards that already migrated stay on the
-// new plan (they run the same strategy, so a retry converges).
+// new plan (they run the same strategy, so a retry converges). With
+// durability on, each shard logs a MIGRATE record before applying —
+// recovery replays it, so a node that dies mid-lazy-migration resumes
+// with the same incomplete-state metadata.
 func (rt *Runtime) Migrate(p *plan.Plan) error {
-	for _, r := range rt.shards {
+	for i, r := range rt.shards {
+		if rt.dur != nil {
+			if err := rt.migrateDurable(i, p); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := r.Migrate(p); err != nil {
 			return err
 		}
@@ -205,9 +239,27 @@ func (rt *Runtime) CheckpointShard(i int, w io.Writer) error {
 	return rt.shards[i].Checkpoint(w)
 }
 
-// Close stops every shard.
+// Close stops every shard. With durability on, each shard's log is
+// flushed and closed before its worker: a Feed that raced with Close
+// either logged-and-enqueued its tuple (the worker drains it) or
+// failed at the log, never one without the other. Close writes no
+// final checkpoint — a graceful shutdown under FsyncAlways leaves the
+// same disk state as a crash, which is exactly what the recovery-
+// equivalence tests rely on.
 func (rt *Runtime) Close() {
-	for _, r := range rt.shards {
-		r.Close()
-	}
+	rt.closeOnce.Do(func() {
+		if rt.ckptStop != nil {
+			close(rt.ckptStop)
+			<-rt.ckptDone
+		}
+		for i, r := range rt.shards {
+			if rt.dur != nil {
+				d := rt.dur[i]
+				d.mu.Lock()
+				d.log.Close()
+				d.mu.Unlock()
+			}
+			r.Close()
+		}
+	})
 }

@@ -1,12 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
 
+	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/obs"
 	"jisc/internal/pipeline"
@@ -106,18 +107,18 @@ func (q *query) subscribers() int {
 // checkpoint writes the query's state to path. A single-shard query
 // produces one file; a sharded one produces path.0 … path.N-1, one
 // consistent snapshot per shard (shards never exchange state, so
-// per-shard files restore independently).
+// per-shard files restore independently). Each file is a validated
+// snapshot envelope (magic, version, CRC) written atomically via temp
+// file + rename + directory fsync: a crash mid-CHECKPOINT never leaves
+// a torn file under the requested name, and a load of a corrupt file
+// fails with a clear error instead of undefined engine state.
 func (q *query) checkpoint(path string) error {
 	writeOne := func(p string, ckpt func(w io.Writer) error) error {
-		f, err := os.Create(p)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := ckpt(&buf); err != nil {
 			return err
 		}
-		if err := ckpt(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return durable.WriteSnapshotFile(durable.OS(), p, buf.Bytes())
 	}
 	if q.runner.Shards() == 1 {
 		return writeOne(path, q.runner.Checkpoint)

@@ -48,12 +48,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"jisc/internal/core"
+	"jisc/internal/durable"
 	"jisc/internal/pipeline"
 	"jisc/internal/plan"
 	"jisc/internal/tuple"
@@ -70,10 +74,19 @@ type Config struct {
 	// (<path>.0 … <path>.N-1). Its Engine.Output is owned by the
 	// server and must be nil. Engine.Plan may be nil to start the
 	// server with no default query (CREATE adds queries at runtime).
+	// Its Durability field is owned by the server and must be zero;
+	// set Config.Durable instead.
 	Pipeline pipeline.Config
 	// SubscriberBuffer is the per-subscriber line buffer (default
 	// 1024); a subscriber that falls this far behind is dropped.
 	SubscriberBuffer int
+	// Durable, when enabled (Dir set), makes every mutating command
+	// durable: FEED and MIGRATE are write-ahead logged per query shard
+	// before they are acknowledged, CREATE and DROP go to the query
+	// catalog (Dir/catalog.wal, always fsynced), and New recovers the
+	// whole topology — catalog fold, then per-query checkpoint + WAL
+	// replay — before Listen accepts a single connection.
+	Durable durable.Options
 }
 
 // Server hosts named continuous queries over TCP.
@@ -81,6 +94,14 @@ type Server struct {
 	template pipeline.Config
 	bufSize  int
 	ln       net.Listener
+	durable  durable.Options
+	catalog  *durable.Catalog
+	catStats *durable.Stats
+	// walDisabled counts mutating commands (FEED, MIGRATE, CREATE,
+	// DROP) executed while durability is off — each one is state a
+	// crash would silently lose, so the telemetry endpoint exposes the
+	// count distinctly rather than leaving "no WAL" invisible.
+	walDisabled atomic.Uint64
 
 	mu          sync.Mutex
 	queries     map[string]*query
@@ -93,10 +114,14 @@ type Server struct {
 }
 
 // New builds a server and starts the default query (when the config
-// carries a plan). Call Listen to accept connections.
+// carries a plan). With durability enabled it first recovers every
+// query recorded in the catalog. Call Listen to accept connections.
 func New(cfg Config) (*Server, error) {
 	if cfg.Pipeline.Engine.Output != nil {
 		return nil, errors.New("server: Engine.Output is owned by the server")
+	}
+	if cfg.Pipeline.Durability.Enabled() {
+		return nil, errors.New("server: Pipeline.Durability is owned by the server; set Config.Durable")
 	}
 	if cfg.SubscriberBuffer == 0 {
 		cfg.SubscriberBuffer = 1024
@@ -110,6 +135,12 @@ func New(cfg Config) (*Server, error) {
 		queries:  make(map[string]*query),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	if cfg.Durable.Enabled() {
+		if err := s.recoverDurable(cfg); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 	if cfg.Pipeline.Engine.Plan != nil {
 		q, err := newQuery(DefaultQuery, cfg.Pipeline, s.bufSize)
 		if err != nil {
@@ -118,6 +149,91 @@ func New(cfg Config) (*Server, error) {
 		s.queries[DefaultQuery] = q
 	}
 	return s, nil
+}
+
+// recoverDurable restores the server's query topology from the
+// durability directory: open and fold the catalog, then bring up the
+// config's default query and every cataloged query, each recovering
+// its own shards from checkpoint + WAL tail.
+func (s *Server) recoverDurable(cfg Config) error {
+	opts := cfg.Durable.WithDefaults()
+	s.durable = opts
+	s.catStats = &durable.Stats{}
+	start := time.Now()
+	cat, entries, err := durable.OpenCatalog(opts, s.catStats)
+	if err != nil {
+		return fmt.Errorf("server: opening catalog: %w", err)
+	}
+	s.catalog = cat
+	fail := func(err error) error {
+		for name, q := range s.queries {
+			q.close()
+			delete(s.queries, name)
+		}
+		cat.Close()
+		return err
+	}
+	if cfg.Pipeline.Engine.Plan != nil {
+		q, err := s.newDurableQuery(DefaultQuery, cfg.Pipeline)
+		if err != nil {
+			return fail(fmt.Errorf("server: recovering default query: %w", err))
+		}
+		s.queries[DefaultQuery] = q
+	}
+	for _, e := range entries {
+		if _, dup := s.queries[e.Name]; dup {
+			// The catalog can only collide with the config default
+			// (create rejects duplicate names); the config wins.
+			continue
+		}
+		p, err := plan.Parse(e.Plan)
+		if err != nil {
+			return fail(fmt.Errorf("server: catalog entry %q: %w", e.Name, err))
+		}
+		qcfg := s.template
+		qcfg.Engine.Plan = p
+		qcfg.Engine.WindowSize = e.Window
+		if qcfg.Engine.Strategy == nil {
+			qcfg.Engine.Strategy = core.New()
+		}
+		q, err := s.newDurableQuery(e.Name, qcfg)
+		if err != nil {
+			return fail(fmt.Errorf("server: recovering query %q: %w", e.Name, err))
+		}
+		s.queries[e.Name] = q
+	}
+	durable.MarkRecovery(s.catStats, start)
+	return nil
+}
+
+// queryDir returns the named query's durability directory.
+func (s *Server) queryDir(name string) string {
+	return filepath.Join(s.durable.Dir, "q-"+name)
+}
+
+// newDurableQuery builds a query whose runtime persists under the
+// server's durability root.
+func (s *Server) newDurableQuery(name string, cfg pipeline.Config) (*query, error) {
+	cfg.Durability = s.durable
+	cfg.Durability.Dir = s.queryDir(name)
+	return newQuery(name, cfg, s.bufSize)
+}
+
+// validDurableName restricts durable query names to characters that
+// are safe in a directory name on every platform.
+func validDurableName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting.
@@ -174,10 +290,18 @@ func (s *Server) lookup(name string) (*query, error) {
 	return q, nil
 }
 
-// create starts a new named query from the server template.
+// create starts a new named query from the server template. With
+// durability on it is logged to the catalog before the OK: the command
+// sequence is newQuery (validates everything and brings the runtime
+// up), then AppendCreate (fsynced), then acknowledge — a crash between
+// the two leaves an unacknowledged query that simply doesn't exist
+// after restart.
 func (s *Server) create(name string, windowSize int, p *plan.Plan) error {
 	if name == "" || strings.ContainsAny(name, " \t") {
 		return fmt.Errorf("bad query name %q", name)
+	}
+	if s.durable.Enabled() && !validDurableName(name) {
+		return fmt.Errorf("bad query name %q: durable query names use [A-Za-z0-9._-] only", name)
 	}
 	cfg := s.template
 	cfg.Engine.Plan = p
@@ -193,26 +317,56 @@ func (s *Server) create(name string, windowSize int, p *plan.Plan) error {
 	if _, dup := s.queries[name]; dup {
 		return fmt.Errorf("query %q exists", name)
 	}
+	if s.durable.Enabled() {
+		// A crash between a logged DROP and its directory removal can
+		// leave stale state under this name; a fresh CREATE must start
+		// empty, never resurrect it. (Recovery-time creation takes the
+		// other branch in recoverDurable and keeps the directory.)
+		if err := s.durable.FS.RemoveAll(s.queryDir(name)); err != nil {
+			return fmt.Errorf("clearing stale state for %q: %w", name, err)
+		}
+		cfg.Durability = s.durable
+		cfg.Durability.Dir = s.queryDir(name)
+	}
 	q, err := newQuery(name, cfg, s.bufSize)
 	if err != nil {
 		return err
+	}
+	if s.catalog != nil {
+		if err := s.catalog.AppendCreate(name, windowSize, p.String()); err != nil {
+			q.close()
+			return fmt.Errorf("logging CREATE: %w", err)
+		}
 	}
 	s.queries[name] = q
 	return nil
 }
 
-// drop stops and removes a named query.
+// drop stops and removes a named query. With durability on the DROP is
+// logged to the catalog, then the query's directory is removed; a
+// crash between the two is healed by the next CREATE of the same name
+// (which clears the directory first). Dropping the config's default
+// query only empties it: the config recreates it, fresh, on restart.
 func (s *Server) drop(name string) error {
 	s.mu.Lock()
 	q, ok := s.queries[name]
 	if ok {
 		delete(s.queries, name)
 	}
+	cat := s.catalog
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("no query %q", name)
 	}
 	q.close()
+	if cat != nil {
+		if err := cat.AppendDrop(name); err != nil {
+			return fmt.Errorf("logging DROP: %w", err)
+		}
+		if err := s.durable.FS.RemoveAll(s.queryDir(name)); err != nil {
+			return fmt.Errorf("removing state of %q: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -309,6 +463,12 @@ func (s *Server) handle(conn net.Conn) {
 		var werr error
 		verb, rest, _ := strings.Cut(line, " ")
 		switch strings.ToUpper(verb) {
+		case "FEED", "MIGRATE", "CREATE", "DROP":
+			if !s.durable.Enabled() {
+				s.walDisabled.Add(1)
+			}
+		}
+		switch strings.ToUpper(verb) {
 		case "FEED":
 			q, args, err := s.splitQuery(rest)
 			if err == nil {
@@ -364,9 +524,11 @@ func (s *Server) handle(conn net.Conn) {
 				break
 			}
 			o := q.obs.Snapshot()
-			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d",
+			ds := q.runner.DurableStats()
+			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d",
 				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed(),
-				o.Feed.Quantile(0.50), o.Feed.Quantile(0.99), o.Completion.Count, q.dropped())
+				o.Feed.Quantile(0.50), o.Feed.Quantile(0.99), o.Completion.Count, q.dropped(),
+				ds.Appends, o.WALFsync.Quantile(0.99), ds.RecoveredEvents)
 		case "PLAN":
 			q, _, err := s.splitQuery(rest)
 			if err != nil {
@@ -474,4 +636,24 @@ func (s *Server) Close() {
 	for _, q := range queries {
 		q.close()
 	}
+	if s.catalog != nil {
+		s.catalog.Close()
+	}
+}
+
+// Durable reports whether the server write-ahead logs mutations.
+func (s *Server) Durable() bool { return s.durable.Enabled() }
+
+// WALDisabledMutations returns the number of mutating commands
+// executed while durability was off.
+func (s *Server) WALDisabledMutations() uint64 { return s.walDisabled.Load() }
+
+// DurableStats aggregates the durability counters across the catalog
+// and every hosted query. Zero when durability is off.
+func (s *Server) DurableStats() durable.StatsSnapshot {
+	total := s.catStats.Snapshot()
+	for _, q := range s.sortedQueries() {
+		total = total.Add(q.runner.DurableStats())
+	}
+	return total
 }

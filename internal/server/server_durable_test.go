@@ -1,0 +1,224 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"jisc/internal/core"
+	"jisc/internal/durable"
+	"jisc/internal/engine"
+	"jisc/internal/pipeline"
+	"jisc/internal/plan"
+)
+
+func durableServerConfig(dir string) Config {
+	return Config{
+		Pipeline: pipeline.Config{Engine: engine.Config{
+			Plan:       plan.MustLeftDeep(0, 1, 2),
+			WindowSize: 100,
+			Strategy:   core.New(),
+		}},
+		Durable: durable.Options{
+			Dir:   dir,
+			Fsync: durable.FsyncAlways,
+			// Restart tests exercise pure WAL replay.
+			CheckpointInterval: -1,
+		},
+	}
+}
+
+func startDurableServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := New(durableServerConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	return s
+}
+
+func statField(t *testing.T, stats, key string) string {
+	t.Helper()
+	for _, f := range strings.Fields(stats) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return v
+		}
+	}
+	t.Fatalf("stats %q has no %q field", stats, key)
+	return ""
+}
+
+// TestServerDurableRestart is the server-level crash contract: every
+// acknowledged mutating command — FEED, MIGRATE, CREATE, DROP — must
+// survive a restart, restoring counters, plans, and the query topology.
+func TestServerDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurableServer(t, dir)
+	c := dial(t, s)
+	for _, line := range []string{
+		"FEED 0 7", "FEED 1 7", "FEED 2 7",
+		"MIGRATE ((0 2) 1)",
+		"FEED 0 9", // post-migration ingest, replays through the migrated plan
+		"CREATE pairs 50 (0 1)",
+		"FEED pairs 0 3", "FEED pairs 1 3",
+		"CREATE doomed 50 (1 2)",
+		"DROP doomed",
+	} {
+		if resp := c.cmd(t, line); resp != "OK" {
+			t.Fatalf("%s -> %s", line, resp)
+		}
+	}
+	stats := c.cmd(t, "STATS")
+	if got := statField(t, stats, "wal_appends"); got == "0" {
+		t.Fatalf("durable server logged nothing: %s", stats)
+	}
+	wantDefault := map[string]string{
+		"input":       statField(t, stats, "input"),
+		"output":      statField(t, stats, "output"),
+		"transitions": statField(t, stats, "transitions"),
+	}
+	wantPlan := c.cmd(t, "PLAN")
+	s.Close() // no final checkpoint: disk state is crash-equivalent
+
+	s2 := startDurableServer(t, dir)
+	defer s2.Close()
+	c2 := dial(t, s2)
+	stats2 := c2.cmd(t, "STATS")
+	for k, want := range wantDefault {
+		if got := statField(t, stats2, k); got != want {
+			t.Fatalf("after restart %s=%s, want %s (stats %q)", k, got, want, stats2)
+		}
+	}
+	if got := statField(t, stats2, "recovered_events"); got == "0" {
+		t.Fatalf("restart replayed nothing: %s", stats2)
+	}
+	if got := c2.cmd(t, "PLAN"); got != wantPlan {
+		t.Fatalf("plan after restart = %q, want %q", got, wantPlan)
+	}
+	list := c2.cmd(t, "LIST")
+	if !strings.Contains(list, "pairs") || strings.Contains(list, "doomed") {
+		t.Fatalf("recovered topology = %q; want pairs alive and doomed gone", list)
+	}
+	pairsStats := c2.cmd(t, "STATS pairs")
+	if got := statField(t, pairsStats, "input"); got != "2" {
+		t.Fatalf("pairs input after restart = %s, want 2", got)
+	}
+	// The recovered server keeps working: finish the pairs join.
+	if resp := c2.cmd(t, "FEED pairs 0 4"); resp != "OK" {
+		t.Fatalf("post-recovery feed: %s", resp)
+	}
+}
+
+// A DROPped query's durability directory is removed, so re-creating
+// the name starts from scratch rather than inheriting stale state.
+func TestServerDurableDropClearsState(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurableServer(t, dir)
+	c := dial(t, s)
+	for _, line := range []string{
+		"CREATE q 50 (0 1)", "FEED q 0 1", "FEED q 1 1",
+		"DROP q",
+		"CREATE q 50 (0 1)",
+	} {
+		if resp := c.cmd(t, line); resp != "OK" {
+			t.Fatalf("%s -> %s", line, resp)
+		}
+	}
+	s.Close()
+	s2 := startDurableServer(t, dir)
+	defer s2.Close()
+	c2 := dial(t, s2)
+	if got := statField(t, c2.cmd(t, "STATS q"), "input"); got != "0" {
+		t.Fatalf("re-created query inherited input=%s from its dropped namesake", got)
+	}
+}
+
+// Durable query names become directory names; reject separators and
+// anything else unsafe rather than writing outside the root.
+func TestServerDurableRejectsUnsafeNames(t *testing.T) {
+	s := startDurableServer(t, t.TempDir())
+	defer s.Close()
+	c := dial(t, s)
+	for _, name := range []string{"a/b", "a\\b", "..", "a b"} {
+		if resp := c.cmd(t, "CREATE "+name+" 50 (0 1)"); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("CREATE %q -> %s, want ERR", name, resp)
+		}
+	}
+}
+
+// The WAL series must reach /metrics: per-query append/fsync counters
+// when durability is on, and the wal_disabled gauge + distinct
+// unlogged-mutation counter when it is off.
+func TestTelemetryWALSeries(t *testing.T) {
+	s := startDurableServer(t, t.TempDir())
+	defer s.Close()
+	if err := s.ServeTelemetry("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, s)
+	for _, line := range []string{"FEED 0 1", "FEED 1 1", "MIGRATE ((0 2) 1)"} {
+		if resp := c.cmd(t, line); resp != "OK" {
+			t.Fatalf("%s -> %s", line, resp)
+		}
+	}
+	c.cmd(t, "STATS") // in-band barrier
+	m := scrape(t, s, "/metrics")
+	for _, want := range []string{
+		`jisc_wal_appends_total{query="default"} 3`,
+		`jisc_wal_fsyncs_total{query="default"} 3`,
+		`jisc_wal_segments{query="default"} 1`,
+		"jisc_wal_disabled{} 0",
+		"jisc_wal_disabled_mutations_total{} 0",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	s2 := newTestServer(t)
+	if err := s2.ServeTelemetry("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := dial(t, s2)
+	if resp := c2.cmd(t, "FEED 0 1"); resp != "OK" {
+		t.Fatalf("feed: %s", resp)
+	}
+	m2 := scrape(t, s2, "/metrics")
+	for _, want := range []string{
+		"jisc_wal_disabled{} 1",
+		"jisc_wal_disabled_mutations_total{} 1",
+	} {
+		if !strings.Contains(m2, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// Without durability every mutating command is counted as unlogged —
+// the operator-facing signal that a crash would lose state.
+func TestServerCountsWALDisabledMutations(t *testing.T) {
+	s := newTestServer(t)
+	c := dial(t, s)
+	for _, line := range []string{"FEED 0 1", "FEED 1 2", "MIGRATE ((0 2) 1)"} {
+		if resp := c.cmd(t, line); resp != "OK" {
+			t.Fatalf("%s -> %s", line, resp)
+		}
+	}
+	c.cmd(t, "STATS") // non-mutating: must not count
+	if got := s.WALDisabledMutations(); got != 3 {
+		t.Fatalf("WALDisabledMutations = %d, want 3", got)
+	}
+
+	s2 := startDurableServer(t, t.TempDir())
+	defer s2.Close()
+	c2 := dial(t, s2)
+	if resp := c2.cmd(t, "FEED 0 1"); resp != "OK" {
+		t.Fatalf("feed: %s", resp)
+	}
+	if got := s2.WALDisabledMutations(); got != 0 {
+		t.Fatalf("durable server counted %d unlogged mutations", got)
+	}
+}

@@ -2,15 +2,16 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"jisc/internal/core"
+	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/pipeline"
 	"jisc/internal/plan"
@@ -289,13 +290,12 @@ func TestServerCheckpointCommand(t *testing.T) {
 	if err := c.Checkpoint(path); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Open(path)
+	payload, err := durable.ReadSnapshotFile(durable.OS(), path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
 	var n int
-	restored, err := engine.Restore(f, engine.Config{
+	restored, err := engine.Restore(bytes.NewReader(payload), engine.Config{
 		WindowSize: 100, Strategy: core.New(),
 		Output: func(engine.Delta) { n++ },
 	})

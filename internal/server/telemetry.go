@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sort"
 
+	"jisc/internal/durable"
 	"jisc/internal/obs"
 )
 
@@ -121,6 +122,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		obs.WritePromGaugeSeries(w, "jisc_queue_depth", obs.PromLabels(q.name), float64(q.runner.QueueLen()))
 	}
 
+	// Durability: per-query WAL and checkpoint counters, plus the
+	// server-wide "running without a WAL" accounting. All are atomic
+	// snapshots, zero for non-durable servers.
+	walCounters := []struct {
+		name string
+		get  func(durable.StatsSnapshot) uint64
+	}{
+		{"jisc_wal_appends_total", func(d durable.StatsSnapshot) uint64 { return d.Appends }},
+		{"jisc_wal_append_bytes_total", func(d durable.StatsSnapshot) uint64 { return d.AppendBytes }},
+		{"jisc_wal_fsyncs_total", func(d durable.StatsSnapshot) uint64 { return d.Fsyncs }},
+		{"jisc_wal_rotations_total", func(d durable.StatsSnapshot) uint64 { return d.Rotations }},
+		{"jisc_wal_segments_removed_total", func(d durable.StatsSnapshot) uint64 { return d.SegmentsRemoved }},
+		{"jisc_wal_torn_truncations_total", func(d durable.StatsSnapshot) uint64 { return d.TornTruncations }},
+		{"jisc_checkpoints_total", func(d durable.StatsSnapshot) uint64 { return d.Checkpoints }},
+		{"jisc_checkpoint_failures_total", func(d durable.StatsSnapshot) uint64 { return d.CheckpointFailures }},
+		{"jisc_recovered_events_total", func(d durable.StatsSnapshot) uint64 { return d.RecoveredEvents }},
+	}
+	durSnaps := make([]durable.StatsSnapshot, len(qs))
+	for i, q := range qs {
+		durSnaps[i] = q.runner.DurableStats()
+	}
+	for _, c := range walCounters {
+		obs.WritePromType(w, c.name, "counter")
+		for i, q := range qs {
+			obs.WritePromCounterSeries(w, c.name, obs.PromLabels(q.name), c.get(durSnaps[i]))
+		}
+	}
+	obs.WritePromType(w, "jisc_wal_segments", "gauge")
+	for _, q := range qs {
+		obs.WritePromGaugeSeries(w, "jisc_wal_segments", obs.PromLabels(q.name), float64(q.runner.WALSegments()))
+	}
+	obs.WritePromType(w, "jisc_recovery_seconds", "gauge")
+	for i, q := range qs {
+		obs.WritePromGaugeSeries(w, "jisc_recovery_seconds", obs.PromLabels(q.name), float64(durSnaps[i].RecoveryNs)/1e9)
+	}
+	walDisabled := 1.0
+	if s.durable.Enabled() {
+		walDisabled = 0
+	}
+	obs.WritePromGauge(w, "jisc_wal_disabled", "", walDisabled)
+	obs.WritePromCounter(w, "jisc_wal_disabled_mutations_total", "", s.walDisabled.Load())
+
 	hists := []struct {
 		name string
 		get  func(obs.SetSnapshot) obs.HistSnapshot
@@ -130,6 +173,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"jisc_build_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.Build }},
 		{"jisc_completion_episode_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.Completion }},
 		{"jisc_migrate_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.Migrate }},
+		{"jisc_wal_append_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.WALAppend }},
+		{"jisc_wal_fsync_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.WALFsync }},
 	}
 	snaps := make([]obs.SetSnapshot, len(qs))
 	for i, q := range qs {
