@@ -24,6 +24,7 @@ import (
 	"jisc/internal/migrate"
 	"jisc/internal/pipeline"
 	"jisc/internal/plan"
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
@@ -271,7 +272,7 @@ func BenchmarkFig12FrequentTransitionsBestCase(b *testing.B) { frequencyBench(b,
 // BenchmarkPropositionsMonteCarlo covers the §5 analysis table: the
 // cost of sampling the pairwise-exchange distribution.
 func BenchmarkPropositionsMonteCarlo(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(testseed.Seed(b, 1)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		analysis.SampleSwap(rng, 1024)

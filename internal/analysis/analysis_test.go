@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"jisc/internal/testseed"
 )
 
 func TestHarmonic(t *testing.T) {
@@ -98,7 +100,7 @@ func TestProposition2Asymptotics(t *testing.T) {
 
 // Monte-Carlo sampling reproduces the closed forms.
 func TestMonteCarloMatchesClosedForm(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 42)))
 	for _, n := range []int{8, 32, 128} {
 		mean, varc := MonteCarlo(rng, n, 200000)
 		if rel := math.Abs(mean-MeanCn(n)) / MeanCn(n); rel > 0.01 {
@@ -113,7 +115,7 @@ func TestMonteCarloMatchesClosedForm(t *testing.T) {
 // Proposition 3: the tail probability shrinks as n grows and is
 // bounded by Chebyshev.
 func TestProposition3Concentration(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 7)))
 	const eps = 0.25
 	prev := 1.0
 	for _, n := range []int{16, 256, 4096} {
@@ -136,27 +138,27 @@ func TestProposition3Concentration(t *testing.T) {
 
 // Property: SampleSwap always returns a valid pair.
 func TestSampleSwapValidProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 1)))
 	f := func(nRaw uint8) bool {
 		n := 2 + int(nRaw%60)
 		i, j := SampleSwap(rng, n)
 		return 1 <= i && i < j && j <= n
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 1, 500)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // Property: C_n within [1, n-1]... C_n = n-(j-i) ∈ [n-(n-1), n-1] = [1, n-1].
 func TestCompleteStatesRangeProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 2)))
 	f := func(nRaw uint8) bool {
 		n := 2 + int(nRaw%60)
 		i, j := SampleSwap(rng, n)
 		c := CompleteStates(n, i, j)
 		return 1 <= c && c <= n-1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 1, 500)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"jisc/internal/engine"
 	"jisc/internal/migrate"
 	"jisc/internal/plan"
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
@@ -94,7 +95,7 @@ func TestHybridPlanMatchesOracle(t *testing.T) {
 	outs := map[string]int{}
 	e := hybridEngine(t, engine.Static{}, win, outs)
 	o := &hybridOracle{win: win, streams: 4, hist: map[tuple.StreamID][]tuple.Value{}}
-	rng := rand.New(rand.NewSource(21))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 21)))
 
 	produced := map[string]int{}
 	for i := 0; i < 300; i++ {

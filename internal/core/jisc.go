@@ -23,6 +23,26 @@ type JISC struct {
 	// ablation. Default false: left-deep plans use the iterative
 	// spine walk of Procedure 3.
 	DisableLeftDeepFastPath bool
+
+	// FaultSkipEveryNth, when positive, deliberately skips every Nth
+	// completion episode: the state is marked attempted without its
+	// entries being materialized, silently losing the results those
+	// entries would have produced. Test-only — the simulation
+	// harness's self-test injects this fault to prove the differential
+	// oracle catches it and shrinks it to a minimal repro. Never set
+	// in production code.
+	FaultSkipEveryNth int
+	faultEpisodes     int
+}
+
+// faultSkip reports whether fault injection swallows this completion
+// episode (see FaultSkipEveryNth).
+func (c *JISC) faultSkip() bool {
+	if c.FaultSkipEveryNth <= 0 {
+		return false
+	}
+	c.faultEpisodes++
+	return c.faultEpisodes%c.FaultSkipEveryNth == 0
 }
 
 // New returns a JISC strategy with default options.
@@ -70,6 +90,12 @@ func (c *JISC) BeforeProbe(e *engine.Engine, j, opp *engine.Node, t *tuple.Tuple
 			return
 		}
 		if opp.St.Attempted(t.Key) {
+			return
+		}
+		if c.faultSkip() {
+			if opp.St.MarkAttempted(t.Key) {
+				e.MarkNodeComplete(opp)
+			}
 			return
 		}
 		end := beginEpisode(e, t.Key)
@@ -274,7 +300,7 @@ func (c *JISC) completeHashFull(e *engine.Engine, n *engine.Node) {
 	if other.DistinctKeys() < small.DistinctKeys() {
 		small = other
 	}
-	for _, key := range small.Keys() {
+	for _, key := range e.IterKeys(small) {
 		if n.St.Attempted(key) {
 			continue
 		}

@@ -418,3 +418,46 @@ func TestRevisionStreamEquivalence(t *testing.T) {
 		t.Fatal("empty live set")
 	}
 }
+
+// Regression: found by the simulation harness (seed 3285 shrunk). When
+// a window slide removes the last counter-side tuple of a key, the
+// completion counter drops the key and may complete the state — but if
+// that happened before the eviction walk ascended past the state,
+// EvictContinue saw "complete", stopped, and an adopted ancestor state
+// (same stream set carried across the transition, §4.5) kept an entry
+// referencing the expired tuple. The next probe then emitted a result
+// built from a tuple no longer in any window.
+func TestEvictWalkPassesCounterDropCompletedState(t *testing.T) {
+	var out []engine.Delta
+	e := engine.MustNew(engine.Config{
+		Plan: plan.MustLeftDeep(1, 0, 2, 3),
+		// Stream 2's window is 2 so its first tuple expires quickly;
+		// the other windows never slide in this test.
+		WindowSize:  100,
+		WindowSizes: map[tuple.StreamID]int{2: 2},
+		Strategy:    New(),
+		Output:      func(d engine.Delta) { out = append(out, d) },
+	})
+	e.Feed(ev(0, 2))
+	e.Feed(ev(2, 2))
+	e.Feed(ev(1, 2))
+	// New plan's {0,1,2} node adopts the old ((1⋈0)⋈2) state holding
+	// 0#1|1#1|2#1; the fresh (2⋈1) node is born empty with its counter
+	// armed on leaf 2's only key (2).
+	if err := e.Migrate(plan.MustLeftDeep(2, 1, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Two stream-2 arrivals slide 2#1 (key 2) out: the counter drops
+	// key 2 and completes (2⋈1); the walk must still reach the adopted
+	// {0,1,2} state and remove 0#1|1#1|2#1.
+	e.Feed(ev(2, 4))
+	e.Feed(ev(2, 5))
+	// 3#1 (key 2) probes the adopted state: no result may appear — a
+	// never-migrated engine evicted the triple when 2#1 expired.
+	e.Feed(ev(3, 2))
+	for _, d := range out {
+		if !d.Retraction && d.Tuple.Set.Count() == 4 {
+			t.Fatalf("stale adopted-state entry produced output %s after 2#1 expired", d.Tuple.Fingerprint())
+		}
+	}
+}

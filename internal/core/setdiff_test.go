@@ -10,6 +10,7 @@ import (
 	"jisc/internal/engine"
 	"jisc/internal/migrate"
 	"jisc/internal/plan"
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
@@ -159,7 +160,7 @@ func TestSetDiffOuterExpiry(t *testing.T) {
 
 func TestSetDiffChain(t *testing.T) {
 	h := newDiffHarness(t, engine.Static{}, 4, 5)
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 11)))
 	for i := 0; i < 200; i++ {
 		h.feed(ev(tuple.StreamID(rng.Intn(4)), tuple.Value(rng.Intn(5))))
 		h.check(t, fmt.Sprintf("step %d", i))
@@ -170,7 +171,8 @@ func TestSetDiffChain(t *testing.T) {
 // oracle. The oracle is order-independent, so any inner reordering
 // must leave the passing set unchanged.
 func TestSetDiffJISCMigration(t *testing.T) {
-	for seed := int64(0); seed < 6; seed++ {
+	base := testseed.Seed(t, 0)
+	for seed := base; seed < base+6; seed++ {
 		h := newDiffHarness(t, New(), 4, 4)
 		rng := rand.New(rand.NewSource(seed))
 		plans := []*plan.Plan{
@@ -192,7 +194,7 @@ func TestSetDiffJISCMigration(t *testing.T) {
 
 func TestSetDiffMovingStateMigration(t *testing.T) {
 	h := newDiffHarness(t, migrate.MovingState{}, 3, 4)
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 3)))
 	plans := []*plan.Plan{
 		plan.MustLeftDeep(0, 2, 1),
 		plan.MustLeftDeep(0, 1, 2),

@@ -1,0 +1,196 @@
+package eddy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"jisc/internal/plan"
+	"jisc/internal/testseed"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+// These tests pin the eddy routing and STAIRS completion paths as
+// known-good baselines for the simulation shrinker: when the sim
+// harness reduces a divergence, these are the single-path behaviors it
+// assumes correct.
+
+func TestMustConstructorsPanicOnBadConfig(t *testing.T) {
+	for name, f := range map[string]func(){
+		"cacq":   func() { MustNewCACQ(CACQConfig{}) },
+		"stairs": func() { MustNewStairs(StairsConfig{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MustNew %s did not panic on nil plan", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCACQMigrateRejectsBadPlans(t *testing.T) {
+	c := MustNewCACQ(CACQConfig{Plan: plan.MustLeftDeep(0, 1, 2)})
+	bushy := plan.MustNew(plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Join(plan.Leaf(2), plan.Leaf(3))))
+	if err := c.Migrate(bushy); err == nil {
+		t.Error("bushy routing order accepted")
+	}
+	if err := c.Migrate(plan.MustLeftDeep(0, 1, 3)); err == nil {
+		t.Error("different stream set accepted")
+	}
+}
+
+func TestStairsMigrateRejectsBadPlans(t *testing.T) {
+	s := MustNewStairs(StairsConfig{Plan: plan.MustLeftDeep(0, 1, 2)})
+	if err := s.Migrate(plan.MustLeftDeep(0, 2, 3)); err == nil {
+		t.Error("different stream set accepted")
+	}
+	bushy := plan.MustNew(plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Join(plan.Leaf(2), plan.Leaf(3))))
+	s4 := MustNewStairs(StairsConfig{Plan: plan.MustLeftDeep(0, 1, 2, 3)})
+	if err := s4.Migrate(bushy); err == nil {
+		t.Error("bushy routing order accepted")
+	}
+}
+
+// Lazy completion must walk down through multiple stacked incomplete
+// prefix states to the base stem: two back-to-back routing changes
+// leave every prefix state of the final order incomplete, and the
+// next probing tuple has to rebuild the whole lineage for its key.
+func TestStairsLazyCompletionWalksToBase(t *testing.T) {
+	var outs []string
+	s := MustNewStairs(StairsConfig{
+		Plan: plan.MustLeftDeep(0, 1, 2, 3), Lazy: true,
+		Output: func(tp *tuple.Tuple) { outs = append(outs, tp.Fingerprint()) },
+	})
+	for st := 0; st < 4; st++ {
+		s.Feed(ev(tuple.StreamID(st), 5))
+	}
+	if len(outs) != 1 {
+		t.Fatalf("priming outputs = %v", outs)
+	}
+	// Two immediate order changes: every prefix of the final order is
+	// fresh and incomplete.
+	if err := s.Migrate(plan.MustLeftDeep(3, 2, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Migrate(plan.MustLeftDeep(1, 3, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Metrics()
+	// A stream-2 arrival probes prefix {1,3,0}, which is incomplete —
+	// the walk descends through incomplete {1,3} to the base stem of
+	// stream 1 and completes both levels for key 5.
+	s.Feed(ev(2, 5))
+	after := s.Metrics()
+	if after.Completions < 2 {
+		t.Fatalf("Completions rose by %d, want ≥ 2 (stacked lazy completion)", after.Completions-before.Completions)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outputs after lazy completion = %v", outs)
+	}
+	// Same key again: the states are attempted now, no re-completion.
+	mid := s.Metrics()
+	s.Feed(ev(2, 5))
+	if got := s.Metrics().Completions; got != mid.Completions {
+		t.Fatalf("re-probing an attempted key re-ran completion (%d -> %d)", mid.Completions, got)
+	}
+}
+
+// Differential baseline: lazy STAIRS must emit exactly the output
+// multiset of eager STAIRS across randomized workloads with repeated
+// (including back-to-back) routing changes.
+func TestStairsLazyEagerDifferential(t *testing.T) {
+	base := testseed.Seed(t, 1)
+	orders := []*plan.Plan{
+		plan.MustLeftDeep(0, 1, 2, 3),
+		plan.MustLeftDeep(2, 0, 3, 1),
+		plan.MustLeftDeep(3, 1, 0, 2),
+		plan.MustLeftDeep(1, 2, 3, 0),
+	}
+	for c := 0; c < 8; c++ {
+		seed := base + int64(c)
+		outs := map[bool]map[string]int{}
+		for _, lazy := range []bool{false, true} {
+			dst := map[string]int{}
+			outs[lazy] = dst
+			s := MustNewStairs(StairsConfig{
+				Plan: orders[0], WindowSize: 6, Lazy: lazy,
+				Output: func(tp *tuple.Tuple) { dst[tp.Fingerprint()]++ },
+			})
+			rng := rand.New(rand.NewSource(seed))
+			src := workload.MustNewSource(workload.Config{Streams: 4, Domain: 4, Seed: seed})
+			for i := 0; i < 250; i++ {
+				if i > 0 && i%50 == 0 {
+					if err := s.Migrate(orders[rng.Intn(len(orders))]); err != nil {
+						t.Fatal(err)
+					}
+					if rng.Intn(2) == 0 { // back-to-back change
+						if err := s.Migrate(orders[rng.Intn(len(orders))]); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				s.Feed(src.Next())
+			}
+		}
+		if d := diffCounts(outs[false], outs[true]); d != "" {
+			t.Fatalf("seed %d: lazy STAIRS diverges from eager:\n%s", seed, d)
+		}
+	}
+}
+
+// Lottery routing must keep CACQ's output identical to fixed-order
+// routing across migrations — routing policy affects cost, never
+// results.
+func TestCACQLotteryDifferentialUnderMigration(t *testing.T) {
+	base := testseed.Seed(t, 2)
+	for c := 0; c < 6; c++ {
+		seed := base + int64(c)
+		outs := map[Routing]map[string]int{}
+		for _, r := range []Routing{FixedOrder, Lottery} {
+			dst := map[string]int{}
+			outs[r] = dst
+			cq := MustNewCACQ(CACQConfig{
+				Plan: plan.MustLeftDeep(0, 1, 2, 3), WindowSize: 5, Routing: r,
+				Output: func(tp *tuple.Tuple) { dst[tp.Fingerprint()]++ },
+			})
+			src := workload.MustNewSource(workload.Config{Streams: 4, Domain: 3, Seed: seed})
+			for i := 0; i < 300; i++ {
+				if i == 150 {
+					if err := cq.Migrate(plan.MustLeftDeep(3, 1, 2, 0)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				cq.Feed(src.Next())
+			}
+		}
+		if d := diffCounts(outs[FixedOrder], outs[Lottery]); d != "" {
+			t.Fatalf("seed %d: lottery routing changed CACQ's results:\n%s", seed, d)
+		}
+	}
+}
+
+// diffCounts renders the difference between two output multisets;
+// empty when equal.
+func diffCounts(want, got map[string]int) string {
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	var lines []string
+	for k := range keys {
+		if want[k] != got[k] {
+			lines = append(lines, fmt.Sprintf("  %s: want %d, got %d", k, want[k], got[k]))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -62,6 +62,22 @@ type Config struct {
 	// Now supplies time for latency metrics; defaults to time.Now.
 	// Tests inject a fake clock.
 	Now func() time.Time
+	// Deterministic makes the engine bit-for-bit reproducible across
+	// processes: key sets iterated during state completion and eager
+	// fills (IterKeys) are visited in sorted order instead of Go's
+	// randomized map order. Output multisets never depend on that
+	// order, but intermediate insertion orders do — the simulation
+	// harness's shrinker re-runs scenarios and relies on every run of
+	// a seed behaving identically. Costs one sort per completion; off
+	// by default.
+	Deterministic bool
+	// AfterFeed, when non-nil, runs after each input tuple has been
+	// processed to completion, with the tuple's arrival tick. Unlike
+	// wrapping Feed, it also fires for tuples drained from the input
+	// buffer during Migrate's buffer-clearing phase — the batch
+	// boundary callback the simulation harness observes per-tuple
+	// progress through.
+	AfterFeed func(tick uint64)
 }
 
 // TransitionEvent describes one applied plan transition.

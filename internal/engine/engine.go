@@ -28,6 +28,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"jisc/internal/metrics"
@@ -310,6 +311,20 @@ func (e *Engine) processStamped(ev workload.Event, seq, tick uint64) {
 	if timedFeed {
 		e.obs.Feed.Record(e.now().Sub(start))
 	}
+	if e.cfg.AfterFeed != nil {
+		e.cfg.AfterFeed(e.tick)
+	}
+}
+
+// IterKeys returns st's distinct keys for iteration by a strategy's
+// completion or eager-fill pass: sorted ascending when the engine was
+// configured Deterministic, in map order otherwise.
+func (e *Engine) IterKeys(st *state.Table) []tuple.Value {
+	keys := st.Keys()
+	if e.cfg.Deterministic {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	return keys
 }
 
 // pushUp delivers t (the freshly produced output of child) to child's

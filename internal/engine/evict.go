@@ -16,12 +16,19 @@ func (e *Engine) evict(scan *Node, exp window.Entry) {
 		e.setDiffEvict(scan, exp)
 		return
 	}
-	// Remove the base tuple from the scan state.
+	// Phase 1: the removal walk. Counter maintenance (dropPendingAt)
+	// is deferred to phase 2: DropPending can complete a state whose
+	// entries for the expired key were never materialized, and if that
+	// happened mid-walk EvictContinue would stop at the now-complete
+	// state while an ancestor whose state survived the last transition
+	// (§4.5 adoption) still holds an entry referencing the expired
+	// tuple. The stop rule is only sound against pre-drop completeness.
 	scan.St.RemoveRef(exp.Key, exp.Ref)
 	e.met.Evictions.Add(1)
-	e.dropPendingAt(scan, exp.Key)
 
+	last := scan
 	for j := scan.Parent; j != nil; j = j.Parent {
+		last = j
 		var removed []*tuple.Tuple
 		if j.St != nil {
 			removed = j.St.RemoveRef(exp.Key, exp.Ref)
@@ -29,13 +36,22 @@ func (e *Engine) evict(scan *Node, exp window.Entry) {
 			removed = j.Ls.RemoveRef(exp.Ref)
 		}
 		e.met.Evictions.Add(uint64(len(removed)))
-		e.dropPendingAt(j, exp.Key)
 		if j.Parent == nil && e.cfg.EmitExpiry {
 			for _, t := range removed {
 				e.emit(Delta{Tuple: t, Retraction: true})
 			}
 		}
 		if len(removed) == 0 && !e.strategy.EvictContinue(e, j, exp.Key) {
+			break
+		}
+	}
+
+	// Phase 2: counter maintenance over the same nodes, now that the
+	// walk can no longer observe its side effects.
+	e.dropPendingAt(scan, exp.Key)
+	for j := scan.Parent; j != nil; j = j.Parent {
+		e.dropPendingAt(j, exp.Key)
+		if j == last {
 			return
 		}
 	}

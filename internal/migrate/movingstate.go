@@ -62,7 +62,7 @@ func fillJoin(e *engine.Engine, n *engine.Node) {
 	if big.DistinctKeys() < small.DistinctKeys() {
 		small, big = big, small
 	}
-	for _, key := range small.Keys() {
+	for _, key := range e.IterKeys(small) {
 		for _, l := range small.Probe(key) {
 			for _, r := range big.Probe(key) {
 				n.St.Insert(bld.Join(l, r))
@@ -94,7 +94,7 @@ func fillNL(e *engine.Engine, n *engine.Node) {
 // passing tuples whose keys have no live inner match.
 func fillDiff(e *engine.Engine, n *engine.Node) {
 	met := e.Collector()
-	for _, key := range n.Left.St.Keys() {
+	for _, key := range e.IterKeys(n.Left.St) {
 		met.MigrationWork.Add(1)
 		if n.Right.St.ContainsKey(key) {
 			continue

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"jisc/internal/testseed"
 )
 
 // Every nanosecond value must land in a bucket whose bound brackets
@@ -21,7 +23,7 @@ func TestBucketIndexBounds(t *testing.T) {
 		prev = b
 	}
 	vals := []uint64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 100, 999, 1 << 20, 1<<40 + 12345, 1 << 62}
-	r := rand.New(rand.NewSource(1))
+	r := rand.New(rand.NewSource(testseed.Seed(t, 1)))
 	for i := 0; i < 10000; i++ {
 		vals = append(vals, uint64(r.Int63()))
 	}
@@ -47,7 +49,8 @@ func TestSnapshotMergeAssociative(t *testing.T) {
 		}
 		return h.Snapshot()
 	}
-	a, b, c := mk(1, 500), mk(2, 300), mk(3, 700)
+	base := testseed.Seed(t, 0)
+	a, b, c := mk(base+1, 500), mk(base+2, 300), mk(base+3, 700)
 	ab_c := a.Add(b).Add(c)
 	a_bc := a.Add(b.Add(c))
 	ba_c := b.Add(a).Add(c)
@@ -62,9 +65,8 @@ func TestSnapshotMergeAssociative(t *testing.T) {
 	// Merged quantiles equal quantiles of a single histogram fed the
 	// union of the samples.
 	var union Histogram
-	for _, seed := range []int64{1, 2, 3} {
-		r := rand.New(rand.NewSource(seed))
-		n := map[int64]int{1: 500, 2: 300, 3: 700}[seed]
+	for off, n := range map[int64]int{1: 500, 2: 300, 3: 700} {
+		r := rand.New(rand.NewSource(base + off))
 		for i := 0; i < n; i++ {
 			union.Observe(uint64(r.Int63n(1_000_000_000)))
 		}
@@ -91,11 +93,12 @@ func TestHistogramConcurrentRecord(t *testing.T) {
 			}
 		}
 	}()
+	base := testseed.Seed(t, 0)
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			r := rand.New(rand.NewSource(int64(g)))
+			r := rand.New(rand.NewSource(base + int64(g)))
 			for i := 0; i < per; i++ {
 				h.Observe(uint64(r.Int63n(1 << 30)))
 			}

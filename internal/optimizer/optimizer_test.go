@@ -9,6 +9,7 @@ import (
 	"jisc/internal/engine"
 	"jisc/internal/obs"
 	"jisc/internal/plan"
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
@@ -72,7 +73,7 @@ func TestBestOrderOptimalProperty(t *testing.T) {
 		alt[i], alt[j] = alt[j], alt[i]
 		return bestCost <= CostOf(alt, sel)+1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 1, 500)); err != nil {
 		t.Fatal(err)
 	}
 }

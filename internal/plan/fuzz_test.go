@@ -1,0 +1,49 @@
+package plan
+
+import "testing"
+
+// FuzzPlanParse throws arbitrary strings at the spec parser.
+// Invariants, for any input:
+//
+//   - Parse never panics;
+//   - an accepted spec renders (String) back to a spec that parses,
+//     and that render is a fixed point: parse ⇒ render ⇒ parse yields
+//     the identical render. This pins the infix grammar and String as
+//     exact inverses, which the WAL replay path (MIGRATE records store
+//     the infix form) and the sim generator both rely on.
+func FuzzPlanParse(f *testing.F) {
+	for _, s := range []string{
+		"0",
+		"0,1,2",
+		" 3 , 1 , 2 ",
+		"((0⋈1)⋈2)",
+		"((0 1) 2)",
+		"((0*1)*(2*3))",
+		"(((4⋈0)⋈(1⋈3))⋈2)",
+		"(0⋈(1⋈(2⋈3)))",
+		"((0⋈1)⋈2",   // missing paren
+		"((0⋈1)⋈2))", // trailing input
+		"0,1,0",      // duplicate leaf
+		"0,,1",
+		"(⋈)",
+		"99999999999999999999",
+		"(0⋈63)",
+		"(0⋈64)", // stream id out of range
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		r1 := p.String()
+		p2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("render of accepted spec %q does not re-parse: %q: %v", s, r1, err)
+		}
+		if r2 := p2.String(); r2 != r1 {
+			t.Fatalf("render is not a fixed point: %q -> %q -> %q", s, r1, r2)
+		}
+	})
+}

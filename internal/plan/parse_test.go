@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 )
 
@@ -84,7 +85,7 @@ func TestParseRoundTripProperty(t *testing.T) {
 		q, err := Parse(p.String())
 		return err == nil && p.Equal(q)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 1, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 )
 
@@ -218,7 +219,7 @@ func TestSwapIncompleteStatesMatchesDiffProperty(t *testing.T) {
 		got := IncompleteCount(Diff(AllComplete(old), neu), neu)
 		return got == SwapIncompleteStates(i, j)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 1, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

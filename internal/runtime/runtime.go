@@ -10,6 +10,7 @@ import (
 	"jisc/internal/metrics"
 	"jisc/internal/obs"
 	"jisc/internal/plan"
+	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
 
@@ -107,14 +108,21 @@ func (rt *Runtime) Partitions() int { return len(rt.shards) }
 // (checkpointing, diagnostics).
 func (rt *Runtime) Shard(i int) *Runner { return rt.shards[i] }
 
-// route picks the shard index for a join key. Fibonacci hashing
-// spreads sequential keys.
-func (rt *Runtime) route(ev workload.Event) int {
-	if len(rt.shards) == 1 {
+// ShardOf returns the shard index a join key routes to in an n-shard
+// runtime. Fibonacci hashing spreads sequential keys. Exported so an
+// external model of the runtime — the simulation harness's per-shard
+// oracle — can reproduce the routing exactly.
+func ShardOf(key tuple.Value, n int) int {
+	if n <= 1 {
 		return 0
 	}
-	h := uint64(ev.Key) * 0x9E3779B97F4A7C15
-	return int(h % uint64(len(rt.shards)))
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h % uint64(n))
+}
+
+// route picks the shard index for a join key.
+func (rt *Runtime) route(ev workload.Event) int {
+	return ShardOf(ev.Key, len(rt.shards))
 }
 
 // Feed enqueues one tuple on its key's shard. With durability on, the
@@ -149,7 +157,12 @@ func (rt *Runtime) Migrate(p *plan.Plan) error {
 	return nil
 }
 
-// Flush waits for every shard to drain.
+// Flush waits for every shard to drain: when it returns, every tuple
+// enqueued before the call has been fully processed and its outputs
+// emitted. It is the deterministic drain barrier the simulation
+// harness compares shard output against its oracle across — after a
+// Flush, the runtime's cumulative output is a pure function of the
+// fed event sequence, independent of worker scheduling.
 func (rt *Runtime) Flush() error {
 	for _, r := range rt.shards {
 		if err := r.Flush(); err != nil {

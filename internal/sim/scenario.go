@@ -1,0 +1,226 @@
+// Package sim is the deterministic simulation harness: a seeded
+// scenario generator, a differential correctness oracle, and a
+// shrinker that reduces any divergence to a minimal reproducible
+// scenario.
+//
+// One uint64 seed fully determines a Scenario — query shape, window
+// sizes, key distribution, event interleaving, migration schedule,
+// shard count, and crash point. Each scenario executes under four
+// engines (JISC lazy completion, Moving State, Parallel Track, and a
+// naive oracle that recomputes the multi-way join from raw window
+// contents on every arrival) and the harness asserts identical output
+// multisets and identical STATS-visible counters after every tuple
+// batch. Scenarios that draw a shard count > 1 additionally run the
+// sharded runtime against per-shard oracles, and scenarios that draw
+// a crash point run the durable runtime over a fault-injection
+// filesystem and assert post-recovery equivalence.
+//
+// On mismatch the harness shrinks (Shrink) and prints a one-line
+// repro: go test ./internal/sim -run 'TestSim$' -sim.seed=N.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
+)
+
+// Migration is one scheduled plan switch: Plan is installed before
+// event index At is fed. Two Migrations with equal At are applied
+// back-to-back with no tuple between them — a switch landing mid-
+// completion-episode, the overlapped-transition case of §4.5.
+type Migration struct {
+	At   int
+	Plan string
+}
+
+// Scenario is one fully-determined simulation input. Generate derives
+// every field from the seed; the shrinker then edits Events and
+// Migrations directly, so Run must treat the struct — not the seed —
+// as the source of truth.
+type Scenario struct {
+	Seed    uint64
+	Streams int
+	// InitPlan is the initial plan's infix form; Migrations hold the
+	// switch targets (ascending At).
+	InitPlan   string
+	Migrations []Migration
+	// Windows is the per-stream count-window size.
+	Windows []int
+	Dist    workload.KeyDist
+	Domain  int64
+	// Weights skews per-stream arrival rates; nil means round-robin.
+	Weights []float64
+	Events  []workload.Event
+	// BatchSize is the tuple-batch length between differential
+	// comparisons.
+	BatchSize int
+	// CheckEvery is the Parallel Track discard-scan period.
+	CheckEvery int
+	// Shards, when > 1, additionally runs the sharded runtime against
+	// per-shard oracles.
+	Shards int
+	// CrashBudget, when > 0, additionally runs the durable runtime
+	// over a CrashFS with this write budget and asserts post-recovery
+	// equivalence. CheckpointAt, when > 0, takes a manual checkpoint
+	// before feeding that event index.
+	CrashBudget  int64
+	CheckpointAt int
+	// FaultSkip is test-only fault injection: every FaultSkip-th JISC
+	// completion episode is skipped (core.JISC.FaultSkipEveryNth). The
+	// self-test sets it to prove the oracle catches the lost results.
+	FaultSkip int
+}
+
+// Generate derives a complete Scenario from one seed. Independent
+// sub-generators (shape, events, migrations, crash point) use labeled
+// derived seeds, so the draws are uncorrelated but each is a pure
+// function of the scenario seed.
+func Generate(seed uint64) Scenario {
+	rng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "shape")))
+	sc := Scenario{Seed: seed}
+	sc.Streams = 3 + rng.Intn(4)
+	sc.Domain = int64(2 + rng.Intn(9))
+	if rng.Intn(4) == 0 {
+		sc.Dist = workload.Zipf
+	}
+	sc.Windows = make([]int, sc.Streams)
+	for i := range sc.Windows {
+		sc.Windows[i] = 2 + rng.Intn(14)
+	}
+	limitFanout(&sc)
+	if rng.Intn(2) == 0 {
+		sc.Weights = make([]float64, sc.Streams)
+		for i := range sc.Weights {
+			sc.Weights[i] = 0.25 + 1.75*rng.Float64()
+		}
+	}
+	sc.InitPlan = randPlan(rng, sc.Streams)
+
+	n := 60 + rng.Intn(240)
+	src := workload.MustNewSource(workload.Config{
+		Streams: sc.Streams,
+		Domain:  sc.Domain,
+		Dist:    sc.Dist,
+		Seed:    workload.DeriveSeed(seed, "events"),
+		Weights: sc.Weights,
+	})
+	sc.Events = src.Take(n)
+
+	mrng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "migrations")))
+	k := mrng.Intn(5)
+	ats := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		if len(ats) > 0 && mrng.Intn(3) == 0 {
+			// Back-to-back switch: same index as the previous one, so
+			// the second Migrate lands while the first transition's
+			// states are still incomplete.
+			ats = append(ats, ats[len(ats)-1])
+		} else {
+			ats = append(ats, 1+mrng.Intn(n))
+		}
+	}
+	sort.Ints(ats)
+	cur := sc.InitPlan
+	for _, at := range ats {
+		p := randPlan(mrng, sc.Streams)
+		for tries := 0; p == cur && tries < 8; tries++ {
+			p = randPlan(mrng, sc.Streams)
+		}
+		sc.Migrations = append(sc.Migrations, Migration{At: at, Plan: p})
+		cur = p
+	}
+	sc.BatchSize = 5 + mrng.Intn(40)
+	sc.CheckEvery = 3 + mrng.Intn(9)
+	sc.Shards = 1 + mrng.Intn(4)
+
+	crng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "crash")))
+	if crng.Intn(3) == 0 {
+		sc.CrashBudget = 256 + crng.Int63n(int64(n)*30)
+		if crng.Intn(2) == 0 {
+			sc.CheckpointAt = 1 + crng.Intn(n)
+		}
+	}
+	return sc
+}
+
+// limitFanout bounds the expected per-arrival output fan-out so a
+// single scenario cannot draw a combination of tiny domain, wide
+// windows, and many streams that multiplies into millions of results.
+// The bound is on the product over streams of the per-stream match
+// estimate window/domain; Zipf scenarios use an effective domain of 2
+// because s=1.1 concentrates most mass on the smallest keys.
+func limitFanout(sc *Scenario) {
+	dom := float64(sc.Domain)
+	if sc.Dist == workload.Zipf {
+		dom = 2
+	}
+	for {
+		fan := 1.0
+		for _, w := range sc.Windows {
+			if m := float64(w) / dom; m > 1 {
+				fan *= m
+			}
+		}
+		if fan <= 64 {
+			return
+		}
+		// Halve the widest window (floor 2) and re-estimate.
+		widest := 0
+		for i, w := range sc.Windows {
+			if w > sc.Windows[widest] {
+				widest = i
+			}
+		}
+		if sc.Windows[widest] <= 2 {
+			return
+		}
+		sc.Windows[widest] /= 2
+	}
+}
+
+// randPlan draws a random plan over streams 0..streams-1: a shuffled
+// left-deep order two thirds of the time, a random bushy tree
+// otherwise.
+func randPlan(rng *rand.Rand, streams int) string {
+	ids := make([]tuple.StreamID, streams)
+	for i := range ids {
+		ids[i] = tuple.StreamID(i)
+	}
+	rng.Shuffle(streams, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if rng.Intn(3) > 0 {
+		return plan.MustLeftDeep(ids...).String()
+	}
+	var build func(part []tuple.StreamID) *plan.Node
+	build = func(part []tuple.StreamID) *plan.Node {
+		if len(part) == 1 {
+			return plan.Leaf(part[0])
+		}
+		cut := 1 + rng.Intn(len(part)-1)
+		return plan.Join(build(part[:cut]), build(part[cut:]))
+	}
+	return plan.MustNew(build(ids)).String()
+}
+
+// Describe renders a scenario as a human-readable dump — the shape
+// line, the migration schedule, and every event. Printed for shrunk
+// (minimal) scenarios only; an unshrunk scenario is reproduced from
+// its seed instead.
+func Describe(sc Scenario) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d\n",
+		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip)
+	fmt.Fprintf(&b, "  plan %s\n", sc.InitPlan)
+	for _, m := range sc.Migrations {
+		fmt.Fprintf(&b, "  migrate@%d -> %s\n", m.At, m.Plan)
+	}
+	for i, ev := range sc.Events {
+		fmt.Fprintf(&b, "  ev[%d] stream=%d key=%d\n", i, ev.Stream, ev.Key)
+	}
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 )
 
@@ -203,7 +204,7 @@ func TestTableSizeInvariantProperty(t *testing.T) {
 		}
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 1, 30)); err != nil {
 		t.Fatal(err)
 	}
 }

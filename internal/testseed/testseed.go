@@ -1,0 +1,74 @@
+// Package testseed pins the seeds of randomized tests so `go test
+// ./...` is bit-for-bit reproducible, while keeping every seed
+// explicit, overridable, and printed when a test fails.
+//
+// A test that draws randomness declares its default seed once:
+//
+//	rng := rand.New(rand.NewSource(testseed.Seed(t, 42)))
+//
+// Runs are reproducible because the default is a constant; failures
+// are debuggable because the seed is logged with the failure; and a
+// suspicious seed can be re-tried across a whole run without editing
+// code via the JISC_TEST_SEED environment variable, which overrides
+// every call's default.
+package testseed
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// Env is the environment variable that overrides every test's default
+// seed in one sweep: JISC_TEST_SEED=7 go test ./...
+const Env = "JISC_TEST_SEED"
+
+// Seed returns the seed the calling test should use: def, unless the
+// JISC_TEST_SEED environment variable is set, in which case its value
+// wins. The chosen seed is logged if (and only if) the test fails, so
+// a red run always names the randomness that produced it.
+func Seed(t testing.TB, def int64) int64 {
+	t.Helper()
+	seed := def
+	if env := os.Getenv(Env); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("testseed: %s=%q is not an int64: %v", Env, env, err)
+		}
+		seed = v
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("testseed: failing run used seed %d (override with %s=N)", seed, Env)
+		}
+	})
+	return seed
+}
+
+// Quick returns a quick.Config whose value generator is pinned to
+// Seed(t, def). testing/quick's default generator is seeded from the
+// wall clock — the one source of run-to-run nondeterminism in this
+// repo's tests — so every quick.Check call must pass a config from
+// here. maxCount 0 keeps quick's default count.
+func Quick(t testing.TB, def int64, maxCount int) *quick.Config {
+	t.Helper()
+	return &quick.Config{
+		MaxCount: maxCount,
+		Rand:     rand.New(rand.NewSource(Seed(t, def))),
+	}
+}
+
+// Derive returns a sub-seed for one case of a table- or loop-driven
+// test: Seed's result mixed with the case index, so each case draws
+// independent randomness but the whole table still keys off one
+// overridable base. The derived seed is logged on failure.
+func Derive(t testing.TB, def int64, i int) int64 {
+	t.Helper()
+	base := Seed(t, def)
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

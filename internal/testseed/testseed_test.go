@@ -1,0 +1,42 @@
+package testseed
+
+import "testing"
+
+func TestSeedDefault(t *testing.T) {
+	t.Setenv(Env, "")
+	if got := Seed(t, 42); got != 42 {
+		t.Fatalf("Seed = %d, want the default 42", got)
+	}
+}
+
+func TestSeedEnvOverride(t *testing.T) {
+	t.Setenv(Env, "-7")
+	if got := Seed(t, 42); got != -7 {
+		t.Fatalf("Seed = %d, want the override -7", got)
+	}
+}
+
+func TestDeriveSpreadsCases(t *testing.T) {
+	t.Setenv(Env, "")
+	a, b := Derive(t, 1, 0), Derive(t, 1, 1)
+	if a == b {
+		t.Fatalf("Derive produced the same seed %d for different cases", a)
+	}
+	if again := Derive(t, 1, 0); again != a {
+		t.Fatalf("Derive is not deterministic: %d then %d", a, again)
+	}
+}
+
+func TestQuickPinsGenerator(t *testing.T) {
+	t.Setenv(Env, "")
+	c1, c2 := Quick(t, 5, 10), Quick(t, 5, 10)
+	if c1.Rand == nil || c2.Rand == nil {
+		t.Fatal("Quick left the generator nil (time-seeded)")
+	}
+	if x, y := c1.Rand.Int63(), c2.Rand.Int63(); x != y {
+		t.Fatalf("pinned generators diverge: %d vs %d", x, y)
+	}
+	if c1.MaxCount != 10 {
+		t.Fatalf("MaxCount = %d, want 10", c1.MaxCount)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -240,14 +241,19 @@ func (t *Tuple) IsBase() bool { return len(t.Refs) == 1 }
 // cross-strategy equivalence tests and the Parallel Track duplicate
 // eliminator compare outputs.
 func (t *Tuple) Fingerprint() string {
-	var b strings.Builder
+	// Hot path: Parallel Track dedups every root emission through this
+	// string, and the sim harness fingerprints every output of every
+	// engine. Append digits directly instead of going through fmt.
+	buf := make([]byte, 0, 8*len(t.Refs))
 	for i, r := range t.Refs {
 		if i > 0 {
-			b.WriteByte('|')
+			buf = append(buf, '|')
 		}
-		fmt.Fprintf(&b, "%d#%d", r.Stream, r.Seq)
+		buf = strconv.AppendUint(buf, uint64(r.Stream), 10)
+		buf = append(buf, '#')
+		buf = strconv.AppendUint(buf, r.Seq, 10)
 	}
-	return b.String()
+	return string(buf)
 }
 
 func (t *Tuple) String() string {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"jisc/internal/testseed"
 	"jisc/internal/tuple"
 )
 
@@ -127,7 +128,7 @@ func TestFIFOProperty(t *testing.T) {
 		}
 		return w.Len() == wantLen
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 1, 0)); err != nil {
 		t.Fatal(err)
 	}
 }

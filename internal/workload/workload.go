@@ -142,6 +142,25 @@ func (s *Source) key(id tuple.StreamID) tuple.Value {
 	return tuple.Value(s.rng.Int63n(domain))
 }
 
+// DeriveSeed deterministically derives an independent labeled sub-seed
+// from a base seed, so one scenario seed can fan out into seeds for
+// several generators (workload source, migration schedule, crash
+// point, …) without correlation between them. The mix is splitmix64
+// over the base xored with an FNV-1a hash of the label.
+func DeriveSeed(base uint64, label string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	z := base ^ h
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Take returns the next n events.
 func (s *Source) Take(n int) []Event {
 	out := make([]Event, n)
