@@ -23,19 +23,21 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to reproduce: 7, 8, 9, 10a, 10b, 11, 12, props, stairs, proc, skew, mem, timeline, overlap, all")
-		window  = flag.Int("window", 1000, "per-stream sliding window size in tuples (paper: 10000)")
-		domain  = flag.Int64("domain", 0, "join-key domain size (default: window, ≈1 match per probe per level)")
-		tuples  = flag.Int("tuples", 50000, "tuples per measurement (paper: 10000000)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		joins   = flag.Int("joins", 20, "joins for figures 9, 11, 12 (paper: 20)")
-		ptcheck = flag.Int("ptcheck", 0, "Parallel Track discard-scan period in tuples (0 = window/10)")
-		reps    = flag.Int("reps", 3, "repetitions per timing-sensitive measurement (min/median reported)")
-		shards  = flag.Int("shards", 1, "run the Fig-7/8 JISC measurement through the sharded runtime with N shards")
-		latency = flag.Bool("latency", false, "run the per-phase transition latency benchmark (p50/p95/p99/max per strategy) instead of a figure")
-		latOut  = flag.String("latencyout", "BENCH_latency.json", "output path for the -latency JSON report")
-		wal     = flag.Bool("wal", false, "run the WAL ingest-throughput benchmark (fsync off/batch/always vs baseline, 1-4 shards) instead of a figure")
-		walOut  = flag.String("walout", "BENCH_wal.json", "output path for the -wal JSON report")
+		fig      = flag.String("fig", "all", "figure to reproduce: 7, 8, 9, 10a, 10b, 11, 12, props, stairs, proc, skew, mem, timeline, overlap, all")
+		window   = flag.Int("window", 1000, "per-stream sliding window size in tuples (paper: 10000)")
+		domain   = flag.Int64("domain", 0, "join-key domain size (default: window, ≈1 match per probe per level)")
+		tuples   = flag.Int("tuples", 50000, "tuples per measurement (paper: 10000000)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		joins    = flag.Int("joins", 20, "joins for figures 9, 11, 12 (paper: 20)")
+		ptcheck  = flag.Int("ptcheck", 0, "Parallel Track discard-scan period in tuples (0 = window/10)")
+		reps     = flag.Int("reps", 3, "repetitions per timing-sensitive measurement (min/median reported)")
+		shards   = flag.Int("shards", 1, "run the Fig-7/8 JISC measurement through the sharded runtime with N shards")
+		latency  = flag.Bool("latency", false, "run the per-phase transition latency benchmark (p50/p95/p99/max per strategy) instead of a figure")
+		latOut   = flag.String("latencyout", "BENCH_latency.json", "output path for the -latency JSON report")
+		wal      = flag.Bool("wal", false, "run the WAL ingest-throughput benchmark (fsync off/batch/always vs baseline, 1-4 shards) instead of a figure")
+		walOut   = flag.String("walout", "BENCH_wal.json", "output path for the -wal JSON report")
+		batch    = flag.Bool("batch", false, "run the batched-ingest throughput benchmark (batch sizes 1/8/64/256 through the runtime and TCP paths, with and without the WAL) instead of a figure")
+		batchOut = flag.String("batchout", "BENCH_batch.json", "output path for the -batch JSON report")
 	)
 	flag.Parse()
 
@@ -66,6 +68,12 @@ func main() {
 	if *wal {
 		run("WAL ingest throughput", func() error {
 			return runWAL(cfg, *walOut, w)
+		})
+		return
+	}
+	if *batch {
+		run("Batched ingest throughput", func() error {
+			return runBatch(cfg, *batchOut, w)
 		})
 		return
 	}
@@ -195,6 +203,40 @@ func runLatency(cfg bench.Config, out string, w *os.File) error {
 		WorstCase: worst,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", out)
+	return nil
+}
+
+// runBatch measures ingest throughput per batch size through each
+// ingest entry point and writes the JSON report to out. Batch size 1
+// is the per-event baseline within each mode.
+func runBatch(cfg bench.Config, out string, w *os.File) error {
+	report, err := bench.BatchBench(cfg, []int{1, 8, 64, 256}, w)
+	if err != nil {
+		return err
+	}
+	full := struct {
+		Description string            `json:"description"`
+		Go          string            `json:"go"`
+		Config      bench.Config      `json:"config"`
+		Report      bench.BatchReport `json:"report"`
+	}{
+		Description: "Ingest throughput (tuples/s, best of reps) per batch size through the " +
+			"in-process runtime (Feed vs FeedBatch) and the TCP line protocol (FEED round " +
+			"trips vs pipelined FEEDB lines), each with and without the write-ahead log " +
+			"under group commit. Batch size 1 is the per-event pre-refactor baseline within " +
+			"each mode. Regenerate with: jiscbench -batch",
+		Go:     runtime.Version(),
+		Config: cfg,
+		Report: report,
+	}
+	buf, err := json.MarshalIndent(full, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -7,8 +7,8 @@
 //
 //	jiscd -addr :7878 -plan 0,1,2 -window 10000 -strategy jisc
 //
-// With -wal DIR every mutating command (FEED, MIGRATE, CREATE, DROP)
-// is write-ahead logged before it is acknowledged, and a restart
+// With -wal DIR every mutating command (FEED, FEEDB, MIGRATE, CREATE,
+// DROP) is write-ahead logged before it is acknowledged, and a restart
 // recovers the full topology and per-query state from DIR — kill -9
 // the daemon and bring it back up with the same flags. -fsync picks
 // the durability/throughput trade-off: always, batch (group commit,
@@ -17,6 +17,10 @@
 // Protocol (one line per command; [query] defaults to "default"):
 //
 //	FEED [query] <stream> <key>
+//	FEEDB [query] <stream> <key>... ingest every key on the line as one
+//	                                batch of <stream> tuples: one queue
+//	                                slot, one WAL frame, one OK — the
+//	                                high-throughput ingest path
 //	MIGRATE [query] <plan>          e.g. MIGRATE ((0 2) 1)  or  MIGRATE 0,2,1
 //	SUBSCRIBE [query]
 //	CREATE <query> <window> <plan>

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The batch benchmark is a smoke test here: correct rows per
+// (mode, batch), sane rates, batch=1 normalized to 1.0. Throughput
+// ratios are not asserted — CI machines are too noisy — the committed
+// BENCH_batch.json records a quiet-machine run.
+func TestBatchBenchRuns(t *testing.T) {
+	cfg := tiny()
+	cfg.Reps = 1
+	var out bytes.Buffer
+	report, err := BatchBench(cfg, []int{1, 8}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 4*2 {
+		t.Fatalf("%d rows, want 4 modes x 2 batch sizes", len(report.Rows))
+	}
+	for _, r := range report.Rows {
+		if r.TuplesPerSec <= 0 {
+			t.Fatalf("row %+v has no throughput", r)
+		}
+		if r.Batch == 1 && r.VsBatch1 != 1.0 {
+			t.Fatalf("batch=1 row %+v is not its own baseline", r)
+		}
+	}
+	if !bytes.Contains(out.Bytes(), []byte("tcp+wal")) {
+		t.Fatal("report table missing tcp+wal rows")
+	}
+}

@@ -174,7 +174,8 @@ type Stats struct {
 	// Checkpoints counts checkpoints written; CheckpointFailures the
 	// attempts that errored.
 	Checkpoints, CheckpointFailures atomic.Uint64
-	// RecoveredEvents counts WAL records replayed at startup;
+	// RecoveredEvents counts input tuples replayed from the WAL at
+	// startup (a feedbatch record contributes its whole batch);
 	// TornTruncations counts torn log tails detected and truncated.
 	RecoveredEvents, TornTruncations atomic.Uint64
 	// RecoveryNs is the wall-clock duration of the last recovery.

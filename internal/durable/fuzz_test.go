@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"hash/crc32"
 	"testing"
+
+	"jisc/internal/workload"
 )
 
 // mustFrame builds one encoded frame for the seed corpus.
@@ -33,12 +35,18 @@ func FuzzRecordDecode(f *testing.F) {
 	mig := mustFrame(f, Record{Kind: KindMigrate, Seq: 2, Plan: "((0⋈1)⋈2)"})
 	create := mustFrame(f, Record{Kind: KindCreate, Seq: 3, Name: "q1", Window: 128, Plan: "0,1,2"})
 	drop := mustFrame(f, Record{Kind: KindDrop, Seq: 4, Name: "q1"})
-	log := append(append(append(append([]byte{}, feed...), mig...), create...), drop...)
+	batch := mustFrame(f, Record{Kind: KindFeedBatch, Seq: 5, Events: []workload.Event{
+		{Stream: 0, Key: 1}, {Stream: 2, Key: -9}, {Stream: 1, Key: 1 << 33},
+	}})
+	batch1 := mustFrame(f, Record{Kind: KindFeedBatch, Seq: 6, Events: []workload.Event{{Stream: 4, Key: 0}}})
+	log := append(append(append(append(append(append([]byte{}, feed...), mig...), create...), drop...), batch...), batch1...)
 	f.Add([]byte{})
 	f.Add(feed)
 	f.Add(mig)
 	f.Add(create)
 	f.Add(drop)
+	f.Add(batch)
+	f.Add(batch1)
 	f.Add(log)
 	f.Add(log[:len(log)-3]) // torn tail
 	flipped := append([]byte{}, log...)
@@ -74,7 +82,7 @@ func FuzzRecordDecode(f *testing.F) {
 			if _, err := scanFrames(buf, func(r Record) error { back = append(back, r); return nil }); err != nil {
 				t.Fatalf("re-encoded frame of %+v does not scan: %v", r, err)
 			}
-			if len(back) != 1 || back[0] != r {
+			if len(back) != 1 || !back[0].Equal(r) {
 				t.Fatalf("record round-trip mismatch: %+v -> %+v", r, back)
 			}
 			reenc = append(reenc, buf...)

@@ -12,6 +12,7 @@ import (
 
 	"jisc/internal/obs"
 	"jisc/internal/tuple"
+	"jisc/internal/workload"
 )
 
 // ErrLogClosed is returned by appends after Close.
@@ -249,6 +250,14 @@ func (l *Log) rotateLocked(nextSeq uint64) error {
 // AppendFeed logs one input tuple and returns its sequence number.
 func (l *Log) AppendFeed(stream tuple.StreamID, key tuple.Value) (uint64, error) {
 	return l.append(Record{Kind: KindFeed, Stream: stream, Key: key})
+}
+
+// AppendFeedBatch logs a whole ingest batch as one feedbatch record —
+// one frame, one sequence number, one fsync — and returns that
+// sequence number. The events are copied into the frame; the caller
+// keeps ownership of evs.
+func (l *Log) AppendFeedBatch(evs []workload.Event) (uint64, error) {
+	return l.append(Record{Kind: KindFeedBatch, Events: evs})
 }
 
 // AppendMigrate logs one plan transition (infix plan form).

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"jisc/internal/tuple"
+	"jisc/internal/workload"
 )
 
 // The log is a sequence of self-delimiting frames:
@@ -16,14 +17,20 @@ import (
 // crc is CRC32C (Castagnoli) over the payload, so a torn or corrupted
 // tail is detected without trusting the length field alone. Bodies:
 //
-//	feed    := stream:u8 | key:u64
-//	migrate := planLen:u16 | plan bytes
-//	create  := nameLen:u8 | name | window:u32 | planLen:u16 | plan
-//	drop    := nameLen:u8 | name
+//	feed      := stream:u8 | key:u64
+//	migrate   := planLen:u16 | plan bytes
+//	create    := nameLen:u8 | name | window:u32 | planLen:u16 | plan
+//	drop      := nameLen:u8 | name
+//	feedbatch := count:u16 | count × (stream:u8 | key:u64)
 //
 // seq is the per-log record sequence number, assigned by the log on
 // append, strictly increasing from 1 with no gaps. Checkpoints record
 // the seq they cover; replay skips records at or below it.
+//
+// feedbatch (the FEEDB frame) carries a whole ingest batch under one
+// seq and one fsync. Old logs written before it existed contain only
+// per-event feed frames and decode unchanged; new logs may interleave
+// both kinds freely.
 
 // RecordKind discriminates log records.
 type RecordKind uint8
@@ -37,7 +44,15 @@ const (
 	KindCreate
 	// KindDrop is a query removal (catalog log only).
 	KindDrop
+	// KindFeedBatch is one ingest batch: N input tuples appended —
+	// and fsynced — as a single record.
+	KindFeedBatch
 )
+
+// MaxBatchEvents is the most tuples one feedbatch record can carry
+// (the count field is a u16). Callers with larger batches split them
+// across records.
+const MaxBatchEvents = 1<<16 - 1
 
 // Record is one durable log entry. Which fields are meaningful depends
 // on Kind.
@@ -54,6 +69,27 @@ type Record struct {
 	// Name and Window identify a query for KindCreate / KindDrop.
 	Name   string
 	Window int
+
+	// Events carries a KindFeedBatch batch, in arrival order. The
+	// slice makes Record non-comparable with ==; use Equal.
+	Events []workload.Event
+}
+
+// Equal reports whether two records are identical field for field.
+func (r Record) Equal(o Record) bool {
+	if r.Kind != o.Kind || r.Seq != o.Seq || r.Stream != o.Stream || r.Key != o.Key ||
+		r.Plan != o.Plan || r.Name != o.Name || r.Window != o.Window {
+		return false
+	}
+	if len(r.Events) != len(o.Events) {
+		return false
+	}
+	for i := range r.Events {
+		if r.Events[i] != o.Events[i] {
+			return false
+		}
+	}
+	return true
 }
 
 const (
@@ -93,6 +129,18 @@ func appendFrame(buf []byte, r Record) ([]byte, error) {
 		var err error
 		if buf, err = appendString8(buf, r.Name, "name"); err != nil {
 			return nil, err
+		}
+	case KindFeedBatch:
+		if len(r.Events) == 0 {
+			return nil, fmt.Errorf("durable: feedbatch record with no events")
+		}
+		if len(r.Events) > MaxBatchEvents {
+			return nil, fmt.Errorf("durable: feedbatch of %d events exceeds %d", len(r.Events), MaxBatchEvents)
+		}
+		buf = le.AppendUint16(buf, uint16(len(r.Events)))
+		for _, ev := range r.Events {
+			buf = append(buf, byte(ev.Stream))
+			buf = le.AppendUint64(buf, uint64(ev.Key))
 		}
 	default:
 		return nil, fmt.Errorf("durable: encoding unknown record kind %d", r.Kind)
@@ -171,6 +219,24 @@ func decodePayload(p []byte) (Record, error) {
 			return r, fmt.Errorf("durable: %d trailing bytes after drop body", len(rest))
 		}
 		r.Name = name
+	case KindFeedBatch:
+		if len(body) < 2 {
+			return r, fmt.Errorf("durable: feedbatch body truncated before count")
+		}
+		n := int(le.Uint16(body))
+		if n == 0 {
+			// Encoding rejects empty batches, so a zero count can only
+			// be corruption or skew — not a canonical frame.
+			return r, fmt.Errorf("durable: feedbatch record with zero count")
+		}
+		if len(body) != 2+9*n {
+			return r, fmt.Errorf("durable: feedbatch body is %d bytes, want %d for %d events", len(body), 2+9*n, n)
+		}
+		r.Events = make([]workload.Event, n)
+		for i := 0; i < n; i++ {
+			b := body[2+9*i:]
+			r.Events[i] = workload.Event{Stream: tuple.StreamID(b[0]), Key: tuple.Value(le.Uint64(b[1:]))}
+		}
 	default:
 		return r, fmt.Errorf("durable: unknown record kind %d", p[0])
 	}

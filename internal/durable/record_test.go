@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"jisc/internal/tuple"
+	"jisc/internal/workload"
 )
 
 func mustFrames(t *testing.T, recs ...Record) []byte {
@@ -28,6 +29,9 @@ func sampleRecords() []Record {
 		{Kind: KindCreate, Seq: 4, Name: "sensors", Window: 1024, Plan: "(0 1)"},
 		{Kind: KindDrop, Seq: 5, Name: "sensors"},
 		{Kind: KindFeed, Seq: 6, Stream: 1, Key: 1 << 40},
+		{Kind: KindFeedBatch, Seq: 7, Events: []workload.Event{
+			{Stream: 0, Key: 9}, {Stream: 2, Key: -3}, {Stream: 1, Key: 1 << 50},
+		}},
 	}
 }
 
@@ -49,7 +53,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d records, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !got[i].Equal(want[i]) {
 			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
@@ -100,7 +104,7 @@ func TestTornTailPrefixSweep(t *testing.T) {
 			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), wantRecs)
 		}
 		for i := 0; i < wantRecs; i++ {
-			if got[i] != recs[i] {
+			if !got[i].Equal(recs[i]) {
 				t.Fatalf("cut %d: record %d = %+v, want %+v", cut, i, got[i], recs[i])
 			}
 		}
@@ -131,7 +135,7 @@ func TestCorruptionBitFlipSweep(t *testing.T) {
 			t.Fatalf("pos %d: scan claimed %d valid bytes past the corruption", pos, valid)
 		}
 		for i, r := range got {
-			if r != recs[i] {
+			if !r.Equal(recs[i]) {
 				t.Fatalf("pos %d: delivered corrupted record %d: %+v", pos, i, r)
 			}
 		}
@@ -157,6 +161,42 @@ func TestFrameRejectsOversizedPayloads(t *testing.T) {
 		Kind: KindMigrate, Seq: 1, Plan: string(make([]byte, maxPayload)),
 	}); err == nil {
 		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestFeedBatchEncodeBounds(t *testing.T) {
+	if _, err := appendFrame(nil, Record{Kind: KindFeedBatch, Seq: 1}); err == nil {
+		t.Fatal("empty feedbatch accepted")
+	}
+	if _, err := appendFrame(nil, Record{
+		Kind: KindFeedBatch, Seq: 1, Events: make([]workload.Event, MaxBatchEvents+1),
+	}); err == nil {
+		t.Fatal("feedbatch longer than the u16 count accepted")
+	}
+	full := Record{Kind: KindFeedBatch, Seq: 1, Events: make([]workload.Event, MaxBatchEvents)}
+	data := mustFrames(t, full)
+	var got []Record
+	if _, err := scanFrames(data, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(full) {
+		t.Fatalf("max-size feedbatch did not round-trip (%d records)", len(got))
+	}
+}
+
+// TestFeedBatchZeroCountRejected pins the canonical-encoding rule the
+// fuzzer relies on: a zero-count batch frame (which the encoder can
+// never produce) must fail decode rather than yield an empty record.
+func TestFeedBatchZeroCountRejected(t *testing.T) {
+	data := mustFrames(t, Record{Kind: KindFeedBatch, Seq: 1, Events: []workload.Event{{Stream: 0, Key: 1}}})
+	// Rewrite the count to zero, truncate the body, and re-patch CRC+len.
+	payload := data[frameHeader : frameHeader+9+2] // kind+seq+count, no events
+	le.PutUint16(payload[9:], 0)
+	frame := append(append([]byte{}, data[:frameHeader]...), payload...)
+	le.PutUint32(frame, uint32(len(payload)))
+	patchCRC(frame)
+	if _, err := scanFrames(frame, func(Record) error { return nil }); err == nil {
+		t.Fatal("zero-count feedbatch frame decoded")
 	}
 }
 

@@ -19,8 +19,11 @@ import (
 type ShardRecovery struct {
 	Engine *engine.Engine
 	Log    *Log
-	// Replayed counts WAL records applied on top of the checkpoint.
-	Replayed int
+	// Replayed counts WAL records applied on top of the checkpoint;
+	// ReplayedEvents counts the input tuples those records carried (a
+	// feedbatch record contributes its whole batch).
+	Replayed       int
+	ReplayedEvents int
 	// CheckpointSeq is the WAL sequence the loaded checkpoint covered
 	// (0 when the shard recovered from the log alone).
 	CheckpointSeq uint64
@@ -105,6 +108,12 @@ func RecoverShard(opts Options, shard int, cfg engine.Config, rec *obs.Recorder,
 			}
 			next++
 			res.Replayed++
+			switch r.Kind {
+			case KindFeed:
+				res.ReplayedEvents++
+			case KindFeedBatch:
+				res.ReplayedEvents += len(r.Events)
+			}
 			return nil
 		})
 		if err != nil {
@@ -143,7 +152,7 @@ func RecoverShard(opts Options, shard int, cfg engine.Config, rec *obs.Recorder,
 		return nil, fmt.Errorf("durable: shard %d: reopening log: %w", shard, err)
 	}
 	if stats != nil {
-		stats.RecoveredEvents.Add(uint64(res.Replayed))
+		stats.RecoveredEvents.Add(uint64(res.ReplayedEvents))
 	}
 	return res, nil
 }
@@ -153,6 +162,9 @@ func applyRecord(eng *engine.Engine, r Record) error {
 	switch r.Kind {
 	case KindFeed:
 		eng.Feed(workload.Event{Stream: r.Stream, Key: r.Key})
+		return nil
+	case KindFeedBatch:
+		eng.FeedBatch(r.Events)
 		return nil
 	case KindMigrate:
 		p, err := plan.Parse(r.Plan)

@@ -359,3 +359,112 @@ func TestRecoverShardTruncatesTornActiveTail(t *testing.T) {
 		t.Fatalf("next seq = %d, want 6 (reusing the torn record's slot)", seq)
 	}
 }
+
+// TestRecoverShardFeedBatchFrames proves batch-frame replay: a log of
+// FEEDB records (interleaved with per-event FEED frames and a
+// MIGRATE) recovers to the same engine state — counters, plan, and
+// subsequent outputs — as a per-event run of the same schedule.
+func TestRecoverShardFeedBatchFrames(t *testing.T) {
+	evs := testWorkload(8)
+	p2 := plan.MustLeftDeep(2, 0, 1)
+	const batch = 5
+	const migrateAt = 10 // a batch boundary of `batch`
+
+	// Reference: per-event, never crashed.
+	var refOut []string
+	refEng, err := engine.New(testEngineConfig(func(d engine.Delta) { refOut = append(refOut, deltaLine(d)) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range evs {
+		if i == migrateAt {
+			if err := refEng.Migrate(p2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		refEng.Feed(ev)
+	}
+	refMet := refEng.Metrics()
+	refEng.Close()
+
+	// Live run: batch-granular appends and feeds, then a "crash".
+	root := t.TempDir()
+	dir := ShardDir(root, 0)
+	opts := Options{Dir: root, Fsync: FsyncAlways}.WithDefaults()
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	log, err := openLogAt(opts, dir, nil, &Stats{}, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveEng, err := engine.New(testEngineConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, events := 0, 0
+	for i := 0; i < len(evs); i += batch {
+		if i == migrateAt {
+			if _, err := log.AppendMigrate(p2.String()); err != nil {
+				t.Fatal(err)
+			}
+			if err := liveEng.Migrate(p2); err != nil {
+				t.Fatal(err)
+			}
+			records++
+		}
+		j := min(i+batch, len(evs))
+		if j-i == 1 {
+			// Mix in a per-event frame so both kinds coexist in one log.
+			if _, err := log.AppendFeed(evs[i].Stream, evs[i].Key); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := log.AppendFeedBatch(evs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+		liveEng.FeedBatch(evs[i:j])
+		records++
+		events += j - i
+	}
+	liveMet := liveEng.Metrics()
+	log.Close()
+	liveEng.Close()
+
+	if liveMet.Input != refMet.Input || liveMet.Output != refMet.Output {
+		t.Fatalf("live batched run diverged before the crash: Input=%d Output=%d, want %d and %d",
+			liveMet.Input, liveMet.Output, refMet.Input, refMet.Output)
+	}
+
+	stats := &Stats{}
+	var postOut []string
+	rec, err := RecoverShard(opts, 0, testEngineConfig(func(d engine.Delta) { postOut = append(postOut, deltaLine(d)) }), nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Log.Close()
+	defer rec.Engine.Close()
+	if rec.Replayed != records {
+		t.Fatalf("Replayed = %d records, want %d", rec.Replayed, records)
+	}
+	if rec.ReplayedEvents != events || stats.RecoveredEvents.Load() != uint64(events) {
+		t.Fatalf("ReplayedEvents = %d (stats %d), want %d", rec.ReplayedEvents, stats.RecoveredEvents.Load(), events)
+	}
+	if len(postOut) != 0 {
+		t.Fatalf("replay re-emitted %d results", len(postOut))
+	}
+	recMet := rec.Engine.Metrics()
+	if recMet.Input != refMet.Input || recMet.Output != refMet.Output || recMet.Transitions != refMet.Transitions {
+		t.Fatalf("recovered counters diverge: Input=%d Output=%d Transitions=%d, want %d %d %d",
+			recMet.Input, recMet.Output, recMet.Transitions, refMet.Input, refMet.Output, refMet.Transitions)
+	}
+	if got := rec.Engine.Plan().String(); got != p2.String() {
+		t.Fatalf("recovered plan %q, want %q", got, p2.String())
+	}
+	// Recovered engine behaves identically going forward: a full-match
+	// key emits the same number of joins as the reference would.
+	rec.Engine.SetOutput(func(d engine.Delta) { postOut = append(postOut, deltaLine(d)) })
+	rec.Engine.FeedBatch(testWorkload(1))
+	if len(postOut) == 0 {
+		t.Fatal("recovered engine produced no output on a full-match batch")
+	}
+}

@@ -255,6 +255,38 @@ func (e *Engine) FeedStamped(ev workload.Event, seq, tick uint64) {
 	e.processStamped(ev, seq, tick)
 }
 
+// FeedBatch processes evs in arrival order, observably identical to
+// len(evs) consecutive Feed calls — same window slides, same eviction
+// points, same counters — but with the per-tuple entry overhead paid
+// once per batch: a single obs sampling decision and at most one clock
+// pair (recording the mean per-tuple latency), plus one batch-fill
+// observation. Config.AfterFeed still fires after every tuple, so a
+// deterministic harness can interleave Migrate calls mid-batch; the
+// engine's input buffer is drained first so previously Enqueued tuples
+// stay older than the batch.
+func (e *Engine) FeedBatch(evs []workload.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	e.drain()
+	var start time.Time
+	timed := e.obs.SampleFeed()
+	if timed {
+		start = e.now()
+	}
+	for i := range evs {
+		ev := evs[i]
+		e.processCore(ev, e.seqs[ev.Stream]+1, e.tick+1)
+		if e.cfg.AfterFeed != nil {
+			e.cfg.AfterFeed(e.tick)
+		}
+	}
+	if timed {
+		e.obs.Feed.Record(e.now().Sub(start) / time.Duration(len(evs)))
+	}
+	e.obs.ObserveBatchFill(len(evs))
+}
+
 // Enqueue buffers ev without processing — used by tests that exercise
 // the §4.1 buffer-clearing phase explicitly, and by the Parallel Track
 // wrapper.
@@ -280,14 +312,27 @@ func (e *Engine) process(ev workload.Event) {
 }
 
 func (e *Engine) processStamped(ev workload.Event, seq, tick uint64) {
-	scan, ok := e.scans[ev.Stream]
-	if !ok {
-		panic(fmt.Sprintf("engine: tuple for unknown stream %d", ev.Stream))
-	}
 	var start time.Time
 	timedFeed := e.obs.SampleFeed()
 	if timedFeed {
 		start = e.now()
+	}
+	e.processCore(ev, seq, tick)
+	if timedFeed {
+		e.obs.Feed.Record(e.now().Sub(start))
+	}
+	if e.cfg.AfterFeed != nil {
+		e.cfg.AfterFeed(e.tick)
+	}
+}
+
+// processCore is the per-tuple pipeline — window slide, eviction, scan
+// insert, probe/build push-up — without the obs sampling or AfterFeed
+// hook, which the per-event and batched entry points layer differently.
+func (e *Engine) processCore(ev workload.Event, seq, tick uint64) {
+	scan, ok := e.scans[ev.Stream]
+	if !ok {
+		panic(fmt.Sprintf("engine: tuple for unknown stream %d", ev.Stream))
 	}
 	e.tick = tick
 	e.met.Input.Add(1)
@@ -308,12 +353,6 @@ func (e *Engine) processStamped(ev workload.Event, seq, tick uint64) {
 	scan.St.Insert(t)
 	e.met.Inserts.Add(1)
 	e.pushUp(scan, t, fresh)
-	if timedFeed {
-		e.obs.Feed.Record(e.now().Sub(start))
-	}
-	if e.cfg.AfterFeed != nil {
-		e.cfg.AfterFeed(e.tick)
-	}
 }
 
 // IterKeys returns st's distinct keys for iteration by a strategy's

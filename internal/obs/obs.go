@@ -71,6 +71,11 @@ type Recorder struct {
 	// are executor-only, and the WAL does not use them.
 	WALAppend Histogram
 	WALFsync  Histogram
+	// BatchFill holds realized ingest batch sizes (tuples per
+	// FeedBatch call), not durations: Observe takes the batch length
+	// and Count doubles as the batch-flush counter. Rendered with raw
+	// bucket bounds, never as seconds.
+	BatchFill Histogram
 
 	// Query and Shard label trace events emitted through this
 	// recorder.
@@ -111,6 +116,15 @@ func (r *Recorder) SampleFeed() bool {
 	return r.feeds%feedEvery == 0
 }
 
+// ObserveBatchFill records one ingest batch of n tuples. Safe for nil
+// recorders.
+func (r *Recorder) ObserveBatchFill(n int) {
+	if r == nil {
+		return
+	}
+	r.BatchFill.Observe(uint64(n))
+}
+
 // Snapshot copies the recorder's histograms.
 func (r *Recorder) Snapshot() SetSnapshot {
 	return SetSnapshot{
@@ -121,6 +135,7 @@ func (r *Recorder) Snapshot() SetSnapshot {
 		Migrate:    r.Migrate.Snapshot(),
 		WALAppend:  r.WALAppend.Snapshot(),
 		WALFsync:   r.WALFsync.Snapshot(),
+		BatchFill:  r.BatchFill.Snapshot(),
 	}
 }
 
@@ -197,6 +212,8 @@ type SetSnapshot struct {
 	Migrate    HistSnapshot
 	WALAppend  HistSnapshot
 	WALFsync   HistSnapshot
+	// BatchFill buckets hold batch sizes in tuples, not nanoseconds.
+	BatchFill HistSnapshot
 
 	// TraceDropped and TraceEmitted mirror the tracer's drop
 	// accounting at snapshot time.
@@ -214,6 +231,7 @@ func (s SetSnapshot) Add(o SetSnapshot) SetSnapshot {
 		Migrate:      s.Migrate.Add(o.Migrate),
 		WALAppend:    s.WALAppend.Add(o.WALAppend),
 		WALFsync:     s.WALFsync.Add(o.WALFsync),
+		BatchFill:    s.BatchFill.Add(o.BatchFill),
 		TraceDropped: s.TraceDropped + o.TraceDropped,
 		TraceEmitted: s.TraceEmitted + o.TraceEmitted,
 	}

@@ -84,6 +84,35 @@ func WritePromHistogramSeries(w io.Writer, name, labels string, s HistSnapshot) 
 	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
 }
 
+// WritePromHistogramRaw emits s as a histogram whose observations are
+// unitless values (batch sizes, counts) rather than nanoseconds: "le"
+// bounds and the sum are written as raw integers with no seconds
+// scaling. Preceded by its TYPE header.
+func WritePromHistogramRaw(w io.Writer, name, labels string, s HistSnapshot) {
+	WritePromType(w, name, "histogram")
+	WritePromHistogramRawSeries(w, name, labels, s)
+}
+
+// WritePromHistogramRawSeries is WritePromHistogramRaw without the
+// header.
+func WritePromHistogramRawSeries(w io.Writer, name, labels string, s HistSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, BucketBound(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+}
+
 // formatSeconds renders a nanosecond bound as seconds for the "le"
 // label, with enough precision to keep distinct bounds distinct.
 func formatSeconds(ns uint64) string {

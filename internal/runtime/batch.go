@@ -1,0 +1,180 @@
+package runtime
+
+// Batch-granular ingest. Runtime.FeedBatch scatters a caller's batch
+// into per-shard staging slices by join-key hash and hands each
+// touched shard one channel message carrying its whole sub-batch — one
+// send, one WAL frame, one engine.FeedBatch per shard instead of one
+// of each per tuple. Staging slices come from a pool and are recycled
+// by the shard worker after processing, so the steady-state batch path
+// allocates nothing per call.
+//
+// Semantics match the per-event path exactly: tuples keep their
+// arrival order within a shard (scattering preserves relative order,
+// and channel order is processing order), Flush remains a drain
+// barrier, and under the Shed policy a full shard queue drops that
+// shard's whole sub-batch with every dropped tuple counted.
+
+import (
+	"sync"
+
+	"jisc/internal/durable"
+	"jisc/internal/workload"
+)
+
+// batchPool recycles staging slices flowing from FeedBatch callers to
+// shard workers.
+var batchPool = sync.Pool{New: func() any {
+	s := make([]workload.Event, 0, 256)
+	return &s
+}}
+
+func getBatch() *[]workload.Event {
+	return batchPool.Get().(*[]workload.Event)
+}
+
+func putBatch(b *[]workload.Event) {
+	if cap(*b) > 1<<16 {
+		return // let oversized one-offs be collected instead of pinned
+	}
+	*b = (*b)[:0]
+	batchPool.Put(b)
+}
+
+// scatterPool recycles the per-call table of shard staging pointers.
+type scatter struct {
+	bufs []*[]workload.Event
+}
+
+var scatterPool = sync.Pool{New: func() any { return new(scatter) }}
+
+// FeedBatch enqueues evs as one message: the tuples are processed in
+// order, observably identically to len(evs) Feed calls, but with the
+// channel send, queue slot, and (on a durable runtime) WAL frame paid
+// once. The slice is copied; the caller may reuse evs immediately.
+// Under the Shed policy a full queue drops the whole batch, counted
+// tuple by tuple in Shed. Returns ErrClosed after Close.
+func (r *Runner) FeedBatch(evs []workload.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	b := getBatch()
+	*b = append((*b)[:0], evs...)
+	return r.feedBatchOwned(b)
+}
+
+// feedBatchOwned enqueues a staging slice the runner now owns: it is
+// recycled by the worker after processing, or here on shed/error.
+func (r *Runner) feedBatchOwned(b *[]workload.Event) error {
+	if r.overflow == Shed {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			putBatch(b)
+			return ErrClosed
+		}
+		select {
+		case r.in <- message{kind: msgFeedBatch, batch: b}:
+		default:
+			r.shed.Add(uint64(len(*b)))
+			putBatch(b)
+		}
+		return nil
+	}
+	if err := r.send(message{kind: msgFeedBatch, batch: b}); err != nil {
+		putBatch(b)
+		return err
+	}
+	return nil
+}
+
+// FeedBatch scatters evs across shards by join-key hash and delivers
+// one sub-batch message per touched shard, in ascending shard order.
+// Tuples that route to the same shard keep their relative order, so
+// the per-shard outcome is identical to feeding evs one at a time;
+// tuples on different shards were never ordered relative to each other
+// to begin with (Feed interleaves them under worker scheduling too).
+//
+// With durability on, each touched shard appends one FEEDB record
+// carrying its whole sub-batch — one fsync per shard per batch — under
+// the same log mutex discipline as Feed, so WAL order still equals
+// apply order. On error, sub-batches already delivered to earlier
+// shards stay delivered (exactly the partial outcome a crash between
+// two per-event Feeds would leave); the caller may retry the whole
+// batch, which at-least-once delivery permits.
+//
+// The slice is copied; the caller may reuse evs immediately.
+func (rt *Runtime) FeedBatch(evs []workload.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	n := len(rt.shards)
+	if n == 1 {
+		b := getBatch()
+		*b = append((*b)[:0], evs...)
+		if rt.dur != nil {
+			return rt.feedBatchDurableOwned(0, b)
+		}
+		return rt.shards[0].feedBatchOwned(b)
+	}
+	sc := scatterPool.Get().(*scatter)
+	if cap(sc.bufs) < n {
+		sc.bufs = make([]*[]workload.Event, n)
+	}
+	bufs := sc.bufs[:n]
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	for _, ev := range evs {
+		i := ShardOf(ev.Key, n)
+		if bufs[i] == nil {
+			bufs[i] = getBatch()
+		}
+		*bufs[i] = append(*bufs[i], ev)
+	}
+	var firstErr error
+	for i, b := range bufs {
+		if b == nil {
+			continue
+		}
+		bufs[i] = nil
+		if firstErr != nil {
+			putBatch(b) // an earlier shard failed; don't deliver a gap
+			continue
+		}
+		var err error
+		if rt.dur != nil {
+			err = rt.feedBatchDurableOwned(i, b)
+		} else {
+			err = rt.shards[i].feedBatchOwned(b)
+		}
+		if err != nil {
+			firstErr = err
+		}
+	}
+	scatterPool.Put(sc)
+	return firstErr
+}
+
+// feedBatchDurableOwned logs one FEEDB record then enqueues the
+// sub-batch under shard i's log mutex — the batch-granular analogue of
+// feedDurable.
+func (rt *Runtime) feedBatchDurableOwned(i int, b *[]workload.Event) error {
+	d := rt.dur[i]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// One record per batch; a batch beyond the frame's u16 count field
+	// splits across records, still inside this one critical section so
+	// no checkpoint can pin a sequence between the pieces.
+	for evs := *b; len(evs) > 0; {
+		chunk := evs
+		if len(chunk) > durable.MaxBatchEvents {
+			chunk = chunk[:durable.MaxBatchEvents]
+		}
+		if _, err := d.log.AppendFeedBatch(chunk); err != nil {
+			putBatch(b)
+			return err
+		}
+		evs = evs[len(chunk):]
+	}
+	return rt.shards[i].feedBatchOwned(b)
+}

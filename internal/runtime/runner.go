@@ -37,6 +37,7 @@ type msgKind int
 
 const (
 	msgFeed msgKind = iota
+	msgFeedBatch
 	msgMigrate
 	msgFlush
 	msgMetrics
@@ -47,6 +48,7 @@ const (
 type message struct {
 	kind    msgKind
 	ev      workload.Event
+	batch   *[]workload.Event // msgFeedBatch: pooled, recycled by the worker
 	migrate *plan.Plan
 	done    chan error
 	snap    chan metrics.Snapshot
@@ -165,6 +167,9 @@ func (r *Runner) loop() {
 		switch msg.kind {
 		case msgFeed:
 			r.eng.Feed(msg.ev)
+		case msgFeedBatch:
+			r.eng.FeedBatch(*msg.batch)
+			putBatch(msg.batch)
 		case msgMigrate:
 			// Every tuple enqueued before this control message has
 			// already been processed through the old plan: channel

@@ -59,6 +59,61 @@ func (c *Client) Feed(ev workload.Event) error {
 	return err
 }
 
+// maxKeysPerLine bounds one FEEDB line well under the server's 1 MiB
+// line cap (a key is at most 20 decimal characters plus a separator).
+const maxKeysPerLine = 4096
+
+// FeedBatch ingests a batch of tuples. Each run of consecutive
+// same-stream events becomes one FEEDB line; all lines are written in
+// one pipelined burst and their acks read afterwards, so an N-run
+// batch costs one round trip instead of len(evs).
+func (c *Client) FeedBatch(evs []workload.Event) error { return c.feedBatch("", evs) }
+
+func (c *Client) feedBatch(name string, evs []workload.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sb strings.Builder
+	lines := 0
+	for i := 0; i < len(evs); {
+		j := i
+		for j < len(evs) && evs[j].Stream == evs[i].Stream && j-i < maxKeysPerLine {
+			j++
+		}
+		sb.WriteString("FEEDB ")
+		if name != "" {
+			sb.WriteString(name)
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(int(evs[i].Stream)))
+		for ; i < j; i++ {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatInt(int64(evs[i].Key), 10))
+		}
+		sb.WriteByte('\n')
+		lines++
+	}
+	if _, err := c.conn.Write([]byte(sb.String())); err != nil {
+		return err
+	}
+	// Drain every ack even after an error so the connection stays in
+	// lockstep for the next command.
+	var firstErr error
+	for k := 0; k < lines; k++ {
+		resp, err := c.r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		resp = strings.TrimSpace(resp)
+		if strings.HasPrefix(resp, "ERR ") && firstErr == nil {
+			firstErr = fmt.Errorf("server: %s", strings.TrimPrefix(resp, "ERR "))
+		}
+	}
+	return firstErr
+}
+
 // Migrate transitions the server's query to a new plan.
 func (c *Client) Migrate(p *plan.Plan) error {
 	_, err := c.roundTrip("MIGRATE " + p.String())
@@ -86,6 +141,10 @@ type Stats struct {
 	// SubsDropped counts subscribers the server disconnected for
 	// falling behind.
 	SubsDropped uint64
+	// BatchFillP50 is the median realized ingest batch size in tuples;
+	// BatchFlushes counts FeedBatch invocations on the server (FEEDB
+	// lines plus coalesced FEED runs).
+	BatchFillP50, BatchFlushes uint64
 }
 
 // Stats fetches the default query's counters.
@@ -127,6 +186,10 @@ func parseStats(resp string) (Stats, error) {
 			s.Episodes = n
 		case "subs_dropped":
 			s.SubsDropped = n
+		case "batch_fill_p50":
+			s.BatchFillP50 = n
+		case "batch_flushes":
+			s.BatchFlushes = n
 		}
 	}
 	return s, nil
@@ -220,6 +283,12 @@ type ScopedClient struct {
 func (s *ScopedClient) Feed(ev workload.Event) error {
 	_, err := s.c.roundTrip(fmt.Sprintf("FEED %s %d %d", s.name, ev.Stream, ev.Key))
 	return err
+}
+
+// FeedBatch ingests a batch into the scoped query via pipelined FEEDB
+// lines.
+func (s *ScopedClient) FeedBatch(evs []workload.Event) error {
+	return s.c.feedBatch(s.name, evs)
 }
 
 // Migrate transitions the scoped query.

@@ -10,6 +10,10 @@
 // name address the default query:
 //
 //	FEED [query] <stream> <key>      ingest a tuple
+//	FEEDB [query] <stream> <key>...  ingest a batch: every key on the
+//	                                 line becomes one tuple of <stream>,
+//	                                 delivered as a single FeedBatch and
+//	                                 acknowledged with a single OK
 //	MIGRATE [query] <plan>           transition, e.g. MIGRATE ((0 2) 1)
 //	SUBSCRIBE [query]                stream results on this connection
 //	STATS [query]                    one-line counters
@@ -36,6 +40,21 @@
 //	episodes                                    completion episodes run
 //	subs_dropped                                subscribers dropped for
 //	                                            falling behind
+//	batch_fill_p50                              median realized ingest
+//	                                            batch size, in tuples
+//	                                            (0 until batches flow)
+//	batch_flushes                               ingest batches processed
+//	                                            (FeedBatch calls: FEEDB
+//	                                            lines plus coalesced
+//	                                            FEED runs)
+//
+// Lines are read through a 1 MiB cap: an over-long command draws
+// "ERR line longer than ..." and the connection survives, it is not
+// silently dropped. Pipelined commands are acknowledged in order but
+// flushed together — one write per drained read buffer, not one per
+// ack — and consecutive FEED lines for the same query already sitting
+// in the read buffer are coalesced into a single FeedBatch (still one
+// OK per line).
 //
 // ServeTelemetry additionally exposes HTTP observability (/metrics
 // Prometheus text, /trace JSON event dump, /healthz, /debug/pprof/) —
@@ -44,6 +63,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -397,13 +417,80 @@ type lockedWriter struct {
 	w  *bufio.Writer
 }
 
+// writeLine buffers one line without flushing: the command loop
+// flushes once per drained read buffer (just before it would block on
+// the next read) so a pipelined burst of commands costs one write
+// syscall for all its acks, and streamers flush when their channel
+// runs dry.
 func (lw *lockedWriter) writeLine(format string, args ...any) error {
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
-	if _, err := fmt.Fprintf(lw.w, format+"\n", args...); err != nil {
-		return err
-	}
+	_, err := fmt.Fprintf(lw.w, format+"\n", args...)
+	return err
+}
+
+func (lw *lockedWriter) flush() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
 	return lw.w.Flush()
+}
+
+// maxLineBytes caps one protocol line. A FEEDB line of maximal batch
+// size fits comfortably; anything longer draws an ERR instead of
+// killing the connection (the old Scanner died silently at its 64 KiB
+// default token limit).
+const maxLineBytes = 1 << 20
+
+// maxCoalesce bounds how many consecutive buffered FEED lines fold
+// into one FeedBatch, so one connection's burst cannot monopolize a
+// shard queue slot arbitrarily.
+const maxCoalesce = 512
+
+var errLineTooLong = errors.New("line too long")
+
+// readLine reads one \n-terminated line of at most maxLineBytes.
+// An over-long line is discarded through its terminator and reported
+// as errLineTooLong, leaving the stream positioned at the next line.
+func readLine(br *bufio.Reader) (string, error) {
+	var long []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if err == nil {
+			if long == nil {
+				return string(frag[:len(frag)-1]), nil
+			}
+			long = append(long, frag...)
+			if len(long) > maxLineBytes {
+				return "", errLineTooLong
+			}
+			return string(long[:len(long)-1]), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return "", err
+		}
+		long = append(long, frag...)
+		if len(long) > maxLineBytes {
+			for {
+				if _, err := br.ReadSlice('\n'); err == nil {
+					return "", errLineTooLong
+				} else if err != bufio.ErrBufferFull {
+					return "", err
+				}
+			}
+		}
+	}
+}
+
+// bufferedLine returns the next complete line already sitting in br's
+// buffer, without consuming it, and whether one exists. Consuming it
+// is the caller's Discard(n) of the returned length.
+func bufferedLine(br *bufio.Reader) (string, int, bool) {
+	buffered, _ := br.Peek(br.Buffered())
+	nl := bytes.IndexByte(buffered, '\n')
+	if nl < 0 {
+		return "", 0, false
+	}
+	return string(buffered[:nl]), nl + 1, true
 }
 
 // splitQuery interprets the optional leading query name of a command:
@@ -435,7 +522,8 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 	lw := &lockedWriter{w: bufio.NewWriter(conn)}
-	sc := bufio.NewScanner(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var batch []workload.Event
 	// Per-connection subscriptions: at most one per query.
 	type sub struct {
 		q  *query
@@ -455,15 +543,32 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		return lw.writeLine("OK")
 	}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for {
+		if _, _, ok := bufferedLine(br); !ok {
+			// About to block (no complete line buffered): everything
+			// acknowledged so far goes out in one write.
+			if err := lw.flush(); err != nil {
+				return
+			}
+		}
+		line, rerr := readLine(br)
+		if rerr == errLineTooLong {
+			if lw.writeLine("ERR line longer than %d bytes", maxLineBytes) != nil {
+				return
+			}
+			continue
+		}
+		if rerr != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
 		var werr error
 		verb, rest, _ := strings.Cut(line, " ")
 		switch strings.ToUpper(verb) {
-		case "FEED", "MIGRATE", "CREATE", "DROP":
+		case "FEED", "FEEDB", "MIGRATE", "CREATE", "DROP":
 			if !s.durable.Enabled() {
 				s.walDisabled.Add(1)
 			}
@@ -471,8 +576,55 @@ func (s *Server) handle(conn net.Conn) {
 		switch strings.ToUpper(verb) {
 		case "FEED":
 			q, args, err := s.splitQuery(rest)
+			var ev workload.Event
 			if err == nil {
-				err = feed(q, args)
+				ev, err = parseFeedEvent(args)
+			}
+			if err != nil {
+				werr = respond(err)
+				break
+			}
+			batch = append(batch[:0], ev)
+			// Coalesce consecutive FEEDs to the same query already
+			// sitting in the read buffer: the whole run becomes one
+			// FeedBatch — one queue slot and, on a durable server, one
+			// WAL frame — while the client still sees one OK per line.
+			acks := 1
+			for len(batch) < maxCoalesce {
+				next, consume, ok := bufferedLine(br)
+				if !ok {
+					break
+				}
+				v, r, _ := strings.Cut(strings.TrimSpace(next), " ")
+				if !strings.EqualFold(v, "FEED") {
+					break
+				}
+				q2, args2, err2 := s.splitQuery(r)
+				if err2 != nil || q2 != q {
+					break
+				}
+				ev2, err2 := parseFeedEvent(args2)
+				if err2 != nil {
+					break
+				}
+				br.Discard(consume)
+				batch = append(batch, ev2)
+				acks++
+			}
+			if acks > 1 && !s.durable.Enabled() {
+				s.walDisabled.Add(uint64(acks - 1)) // the first FEED is counted above
+			}
+			ferr := q.runner.FeedBatch(batch)
+			for i := 0; i < acks && werr == nil; i++ {
+				werr = respond(ferr)
+			}
+		case "FEEDB":
+			q, args, err := s.splitQuery(rest)
+			if err == nil {
+				var evs []workload.Event
+				if evs, err = parseFeedBatch(args); err == nil {
+					err = q.runner.FeedBatch(evs)
+				}
 			}
 			werr = respond(err)
 		case "MIGRATE":
@@ -510,7 +662,16 @@ func (s *Server) handle(conn net.Conn) {
 					if err := lw.writeLine("%s", l); err != nil {
 						return
 					}
+					// Flush when the channel runs dry: bursts batch
+					// into one write, a lone result still goes out
+					// immediately.
+					if len(ch) == 0 {
+						if err := lw.flush(); err != nil {
+							return
+						}
+					}
 				}
+				lw.flush()
 			}()
 		case "STATS":
 			q, _, err := s.splitQuery(rest)
@@ -525,10 +686,11 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			o := q.obs.Snapshot()
 			ds := q.runner.DurableStats()
-			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d",
+			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d batch_fill_p50=%d batch_flushes=%d",
 				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed(),
 				o.Feed.Quantile(0.50), o.Feed.Quantile(0.99), o.Completion.Count, q.dropped(),
-				ds.Appends, o.WALFsync.Quantile(0.99), ds.RecoveredEvents)
+				ds.Appends, o.WALFsync.Quantile(0.99), ds.RecoveredEvents,
+				uint64(o.BatchFill.Quantile(0.50)), o.BatchFill.Count)
 		case "PLAN":
 			q, _, err := s.splitQuery(rest)
 			if err != nil {
@@ -577,6 +739,7 @@ func (s *Server) handle(conn net.Conn) {
 			werr = lw.writeLine("QUERIES %s", strings.Join(s.Queries(), " "))
 		case "QUIT":
 			lw.writeLine("OK")
+			lw.flush()
 			return
 		default:
 			werr = lw.writeLine("ERR unknown command %q", verb)
@@ -587,23 +750,50 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func feed(q *query, rest string) error {
+func parseStream(field string) (tuple.StreamID, error) {
+	stream, err := strconv.Atoi(field)
+	if err != nil || stream < 0 || stream >= tuple.MaxStreams {
+		return 0, fmt.Errorf("bad stream %q", field)
+	}
+	return tuple.StreamID(stream), nil
+}
+
+func parseFeedEvent(rest string) (workload.Event, error) {
 	fields := strings.Fields(rest)
 	if len(fields) != 2 {
-		return fmt.Errorf("FEED wants [query] <stream> <key>")
+		return workload.Event{}, fmt.Errorf("FEED wants [query] <stream> <key>")
 	}
-	stream, err := strconv.Atoi(fields[0])
-	if err != nil || stream < 0 || stream >= tuple.MaxStreams {
-		return fmt.Errorf("bad stream %q", fields[0])
+	stream, err := parseStream(fields[0])
+	if err != nil {
+		return workload.Event{}, err
 	}
 	key, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return fmt.Errorf("bad key %q", fields[1])
+		return workload.Event{}, fmt.Errorf("bad key %q", fields[1])
 	}
-	return q.runner.Feed(workload.Event{
-		Stream: tuple.StreamID(stream),
-		Key:    tuple.Value(key),
-	})
+	return workload.Event{Stream: stream, Key: tuple.Value(key)}, nil
+}
+
+// parseFeedBatch parses the tail of "FEEDB [query] <stream> <key>
+// [<key>...]": one batch of same-stream tuples in line order.
+func parseFeedBatch(rest string) ([]workload.Event, error) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("FEEDB wants [query] <stream> <key> [<key>...]")
+	}
+	stream, err := parseStream(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	evs := make([]workload.Event, len(fields)-1)
+	for i, f := range fields[1:] {
+		key, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad key %q", f)
+		}
+		evs[i] = workload.Event{Stream: stream, Key: tuple.Value(key)}
+	}
+	return evs, nil
 }
 
 // Close stops accepting, closes every connection, and shuts all

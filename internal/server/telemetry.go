@@ -186,6 +186,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			obs.WritePromHistogramSeries(w, h.name, obs.PromLabels(q.name), h.get(snaps[i]))
 		}
 	}
+
+	// Batched ingest: realized batch sizes as a raw (unitless)
+	// histogram, plus the batch-flush counter (its _count, duplicated
+	// as a plain counter for easy rate() queries).
+	obs.WritePromType(w, "jisc_batch_fill", "histogram")
+	for i, q := range qs {
+		obs.WritePromHistogramRawSeries(w, "jisc_batch_fill", obs.PromLabels(q.name), snaps[i].BatchFill)
+	}
+	obs.WritePromType(w, "jisc_batch_flush_total", "counter")
+	for i, q := range qs {
+		obs.WritePromCounterSeries(w, "jisc_batch_flush_total", obs.PromLabels(q.name), snaps[i].BatchFill.Count)
+	}
 }
 
 // traceDump is the /trace response shape.

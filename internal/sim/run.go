@@ -46,9 +46,19 @@ func Run(sc Scenario) *Mismatch {
 	if m := runQuartet(sc); m != nil {
 		return m
 	}
+	if sc.UseFeedBatch {
+		if m := runBatched(sc); m != nil {
+			return m
+		}
+	}
 	if sc.Shards > 1 {
 		if m := runSharded(sc); m != nil {
 			return m
+		}
+		if sc.UseFeedBatch {
+			if m := runShardedBatched(sc); m != nil {
+				return m
+			}
 		}
 	}
 	if sc.CrashBudget > 0 {
@@ -284,11 +294,25 @@ func runSharded(sc Scenario) *Mismatch {
 	return compare(len(sc.Events), transitions)
 }
 
-// crashOp is one operation of the crash schedule: a feed or (when
-// migrate is non-nil) a plan switch.
+// crashOp is one operation of the crash schedule: a plan switch (when
+// migrate is non-nil) or an event chunk. Per-event scenarios carry
+// one event per op and feed it through Feed (per-event FEED frames);
+// UseFeedBatch scenarios carry BatchSize chunks fed through FeedBatch
+// (FEEDB frames).
 type crashOp struct {
 	migrate *plan.Plan
-	ev      workload.Event
+	evs     []workload.Event
+	batched bool
+}
+
+func applyCrashOp(rt *runtime.Runtime, op crashOp) error {
+	if op.migrate != nil {
+		return rt.Migrate(op.migrate)
+	}
+	if op.batched {
+		return rt.FeedBatch(op.evs)
+	}
+	return rt.Feed(op.evs[0])
 }
 
 // runCrash checks crash/recovery equivalence: the durable runtime
@@ -310,9 +334,26 @@ func runCrash(sc Scenario) *Mismatch {
 	}
 	ops := make([]crashOp, 0, len(sc.Events)+len(sc.Migrations))
 	ckptOp := -1
+	ckptPending := false
+	var pend []workload.Event
+	flushPend := func() {
+		if len(pend) == 0 {
+			return
+		}
+		if ckptPending {
+			// The checkpoint lands before the chunk whose first event is
+			// the draw point; flushPend was forced at the draw, so pend
+			// starts there.
+			ckptOp = len(ops)
+			ckptPending = false
+		}
+		ops = append(ops, crashOp{evs: pend, batched: sc.UseFeedBatch})
+		pend = nil
+	}
 	mig := 0
 	for i := 0; i <= len(sc.Events); i++ {
 		for mig < len(sc.Migrations) && sc.Migrations[mig].At == i {
+			flushPend()
 			ops = append(ops, crashOp{migrate: plans[1+mig]})
 			mig++
 		}
@@ -320,10 +361,15 @@ func runCrash(sc Scenario) *Mismatch {
 			break
 		}
 		if sc.CheckpointAt == i+1 {
-			ckptOp = len(ops)
+			flushPend()
+			ckptPending = true
 		}
-		ops = append(ops, crashOp{ev: sc.Events[i]})
+		pend = append(pend, sc.Events[i])
+		if !sc.UseFeedBatch || len(pend) >= sc.BatchSize {
+			flushPend()
+		}
 	}
+	flushPend()
 
 	engCfg := func(outs map[string]int) engine.Config {
 		return engine.Config{
@@ -357,31 +403,26 @@ func runCrash(sc Scenario) *Mismatch {
 		if i == ckptOp {
 			rt1.CheckpointNow() //nolint:errcheck // a checkpoint crash is a valid draw; the next op observes it
 		}
-		var err error
-		if op.migrate != nil {
-			err = rt1.Migrate(op.migrate)
-		} else {
-			err = rt1.Feed(op.ev)
-		}
-		if err != nil {
+		if err := applyCrashOp(rt1, op); err != nil {
 			failed = i
 			break
 		}
 	}
 	// Drain: after Close, preOuts holds exactly the outputs of every
-	// acked operation.
+	// acked operation (plus, for a batched op that failed mid-scatter,
+	// the sub-batches delivered before the failing shard).
 	rt1.Close()
 
 	acked := ops
 	if failed >= 0 {
 		acked = ops[:failed]
 	}
-	ackedFeeds, ackedMigs := 0, 0
+	ackedEvents, ackedMigs := 0, 0
 	for _, op := range acked {
 		if op.migrate != nil {
 			ackedMigs++
 		} else {
-			ackedFeeds++
+			ackedEvents += len(op.evs)
 		}
 	}
 
@@ -391,13 +432,13 @@ func runCrash(sc Scenario) *Mismatch {
 	postOuts := map[string]int{}
 	rt2, err := runtime.New(runtime.Config{Engine: engCfg(postOuts), Shards: sc.Shards, Durability: ropts})
 	if err != nil {
-		return &Mismatch{Scenario: sc, Engine: "recovery", Batch: ackedFeeds,
+		return &Mismatch{Scenario: sc, Engine: "recovery", Batch: ackedEvents,
 			Detail: fmt.Sprintf("recovery failed: %v", err)}
 	}
 	defer rt2.Close()
 	recSnap, err := rt2.Metrics()
 	if err != nil {
-		return harnessErr(sc, ackedFeeds, err)
+		return harnessErr(sc, ackedEvents, err)
 	}
 
 	// A Migrate that crashed mid-fan-out logged on shard 0 first;
@@ -410,32 +451,60 @@ func runCrash(sc Scenario) *Mismatch {
 		return harnessErr(sc, 0, err)
 	}
 	defer rtRef.Close()
-	apply := func(rt *runtime.Runtime, op crashOp) error {
-		if op.migrate != nil {
-			return rt.Migrate(op.migrate)
-		}
-		return rt.Feed(op.ev)
-	}
 	for _, op := range acked {
-		if err := apply(rtRef, op); err != nil {
-			return harnessErr(sc, ackedFeeds, err)
+		if err := applyCrashOp(rtRef, op); err != nil {
+			return harnessErr(sc, ackedEvents, err)
 		}
 	}
 	if absorbed {
 		if err := rtRef.Migrate(ops[failed].migrate); err != nil {
-			return harnessErr(sc, ackedFeeds, err)
+			return harnessErr(sc, ackedEvents, err)
 		}
 		ackedMigs++
 	}
+	// A batched op that failed mid-scatter delivered whole sub-batches
+	// to shards below the failing one (FeedBatch scatters in ascending
+	// shard order and a failed WAL append is a torn, unreplayable
+	// frame, so a shard's sub-batch is all-or-nothing). The recovered
+	// Input says how far the scatter got; the reference absorbs exactly
+	// that sub-batch prefix. Any other excess is a durability bug.
+	if extra := int(recSnap.Input) - ackedEvents; extra != 0 {
+		if failed < 0 || ops[failed].migrate != nil || extra < 0 {
+			return &Mismatch{Scenario: sc, Engine: "recovery", Batch: ackedEvents,
+				Detail: fmt.Sprintf("recovered Input=%d, want %d: replay does not match the acked prefix", recSnap.Input, ackedEvents)}
+		}
+		subs := make([][]workload.Event, sc.Shards)
+		for _, ev := range ops[failed].evs {
+			i := runtime.ShardOf(ev.Key, sc.Shards)
+			subs[i] = append(subs[i], ev)
+		}
+		cum, matched := 0, false
+		for i := 0; i < sc.Shards && !matched; i++ {
+			if len(subs[i]) == 0 {
+				continue
+			}
+			for _, ev := range subs[i] {
+				if err := rtRef.Feed(ev); err != nil {
+					return harnessErr(sc, ackedEvents, err)
+				}
+			}
+			cum += len(subs[i])
+			matched = cum == extra
+		}
+		if !matched {
+			return &Mismatch{Scenario: sc, Engine: "recovery", Batch: ackedEvents,
+				Detail: fmt.Sprintf("recovered Input=%d exceeds the acked prefix by %d, which is not a whole-sub-batch prefix of the failed batch (sub-batch sizes of op %d in shard order)", recSnap.Input, extra, failed)}
+		}
+	}
 	if err := rtRef.Flush(); err != nil {
-		return harnessErr(sc, ackedFeeds, err)
+		return harnessErr(sc, ackedEvents, err)
 	}
 	refMid, err := rtRef.Metrics()
 	if err != nil {
-		return harnessErr(sc, ackedFeeds, err)
+		return harnessErr(sc, ackedEvents, err)
 	}
 	if recSnap.Input != refMid.Input || recSnap.Output != refMid.Output || recSnap.Transitions != refMid.Transitions {
-		return &Mismatch{Scenario: sc, Engine: "recovery", Batch: ackedFeeds,
+		return &Mismatch{Scenario: sc, Engine: "recovery", Batch: ackedEvents,
 			Detail: fmt.Sprintf("recovered counters diverge from reference at crash point: Input=%d (want %d) Output=%d (want %d) Transitions=%d (want %d)",
 				recSnap.Input, refMid.Input, recSnap.Output, refMid.Output, recSnap.Transitions, refMid.Transitions)}
 	}
@@ -450,11 +519,11 @@ func runCrash(sc Scenario) *Mismatch {
 		}
 	}
 	for _, op := range rest {
-		if err := apply(rt2, op); err != nil {
-			return harnessErr(sc, ackedFeeds, fmt.Errorf("post-recovery %v: %w", op, err))
+		if err := applyCrashOp(rt2, op); err != nil {
+			return harnessErr(sc, ackedEvents, fmt.Errorf("post-recovery %v: %w", op, err))
 		}
-		if err := apply(rtRef, op); err != nil {
-			return harnessErr(sc, ackedFeeds, err)
+		if err := applyCrashOp(rtRef, op); err != nil {
+			return harnessErr(sc, ackedEvents, err)
 		}
 	}
 	if err := rt2.Flush(); err != nil {

@@ -13,7 +13,11 @@
 // batch. Scenarios that draw a shard count > 1 additionally run the
 // sharded runtime against per-shard oracles, and scenarios that draw
 // a crash point run the durable runtime over a fault-injection
-// filesystem and assert post-recovery equivalence.
+// filesystem and assert post-recovery equivalence. About half of all
+// scenarios (UseFeedBatch) also exercise the batched ingest path —
+// engine FeedBatch with migrations landing mid-batch, the sharded
+// runtime's scatter path, and FEEDB WAL frames under crashes — each
+// differentially compared against the per-event path.
 //
 // On mismatch the harness shrinks (Shrink) and prints a one-line
 // repro: go test ./internal/sim -run 'TestSim$' -sim.seed=N.
@@ -75,6 +79,13 @@ type Scenario struct {
 	// completion episode is skipped (core.JISC.FaultSkipEveryNth). The
 	// self-test sets it to prove the oracle catches the lost results.
 	FaultSkip int
+	// UseFeedBatch routes the scenario through the batched ingest path
+	// as well: the engine's FeedBatch (migrations land mid-batch via
+	// the AfterFeed hook), the sharded runtime's FeedBatch, and — when
+	// the scenario also draws a crash — FEEDB WAL frames, each compared
+	// differentially against the per-event path. BatchSize doubles as
+	// the chunk length.
+	UseFeedBatch bool
 }
 
 // Generate derives a complete Scenario from one seed. Independent
@@ -146,6 +157,9 @@ func Generate(seed uint64) Scenario {
 			sc.CheckpointAt = 1 + crng.Intn(n)
 		}
 	}
+
+	brng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "feedbatch")))
+	sc.UseFeedBatch = brng.Intn(2) == 0
 	return sc
 }
 
@@ -213,8 +227,8 @@ func randPlan(rng *rand.Rand, streams int) string {
 // its seed instead.
 func Describe(sc Scenario) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d\n",
-		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip)
+	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d feedBatch=%v\n",
+		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip, sc.UseFeedBatch)
 	fmt.Fprintf(&b, "  plan %s\n", sc.InitPlan)
 	for _, m := range sc.Migrations {
 		fmt.Fprintf(&b, "  migrate@%d -> %s\n", m.At, m.Plan)

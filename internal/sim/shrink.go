@@ -42,6 +42,11 @@ func Shrink(sc Scenario, m *Mismatch, check func(Scenario) *Mismatch, budget int
 		c.Shards = 1
 		try(c)
 	}
+	if best.UseFeedBatch {
+		c := best
+		c.UseFeedBatch = false
+		try(c)
+	}
 
 	for progress := true; progress && runs < budget; {
 		progress = false

@@ -58,12 +58,18 @@ func TestGenerateDeterministic(t *testing.T) {
 // dimensions the harness exists for: migrations, back-to-back
 // switches, multiple shards, crash points, zipf skew, bushy plans.
 func TestScenarioDiversity(t *testing.T) {
-	var migrations, backToBack, sharded, crashes, zipf, bushy int
+	var migrations, backToBack, sharded, crashes, zipf, bushy, batched, batchedCrash int
 	const n = 300
 	for seed := uint64(1); seed <= n; seed++ {
 		sc := Generate(seed)
 		if len(sc.Migrations) > 0 {
 			migrations++
+		}
+		if sc.UseFeedBatch {
+			batched++
+			if sc.CrashBudget > 0 {
+				batchedCrash++
+			}
 		}
 		for i := 1; i < len(sc.Migrations); i++ {
 			if sc.Migrations[i].At == sc.Migrations[i-1].At {
@@ -90,12 +96,48 @@ func TestScenarioDiversity(t *testing.T) {
 	for name, got := range map[string]int{
 		"migrations": migrations, "back-to-back": backToBack, "sharded": sharded,
 		"crashes": crashes, "zipf": zipf,
+		"batched": batched, "batched-crash": batchedCrash,
 	} {
 		if got < n/20 {
 			t.Errorf("generator drew %q in only %d/%d scenarios", name, got, n)
 		}
 	}
 	_ = bushy // shape variety is asserted indirectly by the sweep itself
+}
+
+// TestSimBatchedEquivalence forces the batched ingest dimension on for
+// every seed regardless of the generator's draw, so the FeedBatch
+// paths (engine mid-batch migrations, the sharded scatter, FEEDB crash
+// frames) get dense differential coverage even in a short sweep.
+func TestSimBatchedEquivalence(t *testing.T) {
+	crashes := 0
+	for seed := uint64(1); seed <= 120; seed++ {
+		seed := seed
+		sc := Generate(seed)
+		sc.UseFeedBatch = true
+		if sc.CrashBudget > 0 {
+			crashes++
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if m := runBatched(sc); m != nil {
+				t.Fatalf("runBatched: %s", m)
+			}
+			if sc.Shards > 1 {
+				if m := runShardedBatched(sc); m != nil {
+					t.Fatalf("runShardedBatched: %s", m)
+				}
+			}
+			if sc.CrashBudget > 0 {
+				if m := runCrash(sc); m != nil {
+					t.Fatalf("batched runCrash: %s", m)
+				}
+			}
+		})
+	}
+	if crashes < 6 {
+		t.Errorf("only %d/120 forced-batch scenarios drew a crash; the FEEDB crash path is under-covered", crashes)
+	}
 }
 
 // TestSimCatchesInjectedFault is the harness's self-test (the
