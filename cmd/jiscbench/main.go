@@ -38,6 +38,8 @@ func main() {
 		walOut   = flag.String("walout", "BENCH_wal.json", "output path for the -wal JSON report")
 		batch    = flag.Bool("batch", false, "run the batched-ingest throughput benchmark (batch sizes 1/8/64/256 through the runtime and TCP paths, with and without the WAL) instead of a figure")
 		batchOut = flag.String("batchout", "BENCH_batch.json", "output path for the -batch JSON report")
+		adapt    = flag.Bool("adaptive", false, "run the autopilot benchmark (static plan rotations vs the closed-loop controller on a hose-shift workload) instead of a figure")
+		adaptOut = flag.String("adaptiveout", "BENCH_adaptive.json", "output path for the -adaptive JSON report")
 	)
 	flag.Parse()
 
@@ -74,6 +76,12 @@ func main() {
 	if *batch {
 		run("Batched ingest throughput", func() error {
 			return runBatch(cfg, *batchOut, w)
+		})
+		return
+	}
+	if *adapt {
+		run("Adaptive control plane", func() error {
+			return runAdaptive(cfg, *adaptOut, w)
 		})
 		return
 	}
@@ -232,6 +240,40 @@ func runBatch(cfg bench.Config, out string, w *os.File) error {
 			"trips vs pipelined FEEDB lines), each with and without the write-ahead log " +
 			"under group commit. Batch size 1 is the per-event pre-refactor baseline within " +
 			"each mode. Regenerate with: jiscbench -batch",
+		Go:     runtime.Version(),
+		Config: cfg,
+		Report: report,
+	}
+	buf, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", out)
+	return nil
+}
+
+// runAdaptive measures every static plan rotation and the autopilot
+// on the two-phase hose-shift workload and writes the JSON report to
+// out.
+func runAdaptive(cfg bench.Config, out string, w *os.File) error {
+	report, err := bench.AdaptiveBench(cfg, w)
+	if err != nil {
+		return err
+	}
+	full := struct {
+		Description string               `json:"description"`
+		Go          string               `json:"go"`
+		Config      bench.Config         `json:"config"`
+		Report      bench.AdaptiveReport `json:"report"`
+	}{
+		Description: "Autopilot vs static plans (tuples/s, best of reps) on a 4-stream, 3-join " +
+			"query whose hose stream shifts mid-run from stream 0 to stream 3. Each left-deep " +
+			"rotation runs the identical tuple sequence statically; the autopilot starts from " +
+			"the measured-worst order with a live controller. Acceptance: vs_worst > 1.0 and " +
+			"vs_best >= 0.9. Regenerate with: jiscbench -adaptive",
 		Go:     runtime.Version(),
 		Config: cfg,
 		Report: report,

@@ -22,6 +22,9 @@
 //	                                slot, one WAL frame, one OK — the
 //	                                high-throughput ingest path
 //	MIGRATE [query] <plan>          e.g. MIGRATE ((0 2) 1)  or  MIGRATE 0,2,1
+//	AUTO ON|OFF|STATUS [query]      toggle or inspect the autopilot (see
+//	                                -auto to start it at boot); with -wal
+//	                                the toggle survives restarts
 //	SUBSCRIBE [query]
 //	CREATE <query> <window> <plan>
 //	DROP <query> | LIST
@@ -35,6 +38,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"jisc/internal/adaptive"
 	"jisc/internal/core"
 	"jisc/internal/durable"
 	"jisc/internal/engine"
@@ -59,6 +63,9 @@ func main() {
 		fsyncMode = flag.String("fsync", "batch", "WAL fsync policy: always (fsync before every ack), batch (group commit), off (no fsync)")
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window for -fsync batch (0 = default 2ms)")
 		ckptIvl   = flag.Duration("checkpoint-interval", 0, "background checkpoint period (0 = default 15s, negative = never)")
+		auto      = flag.Bool("auto", false, "start the autopilot on the default query: watch live selectivities and migrate the plan automatically (toggle per query at runtime with AUTO ON/OFF)")
+		autoIvl   = flag.Duration("auto-interval", 0, "autopilot control-loop period (0 = default 500ms)")
+		autoCool  = flag.Duration("auto-cooldown", 0, "minimum pause between autopilot migrations (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -117,6 +124,11 @@ func main() {
 			Shards:    *shards,
 		},
 		Durable: dur,
+		Adaptive: adaptive.Config{
+			Interval: *autoIvl,
+			Cooldown: *autoCool,
+		},
+		AutoStart: *auto,
 	})
 	if err != nil {
 		die(err)
@@ -135,8 +147,12 @@ func main() {
 		}
 		fmt.Printf("jiscd: telemetry on http://%s/metrics\n", srv.TelemetryAddr())
 	}
-	fmt.Printf("jiscd: serving %s on %s (strategy %s, window %d, shards %d)\n",
-		p, srv.Addr(), *strat, *window, *shards)
+	autopilot := ""
+	if *auto {
+		autopilot = ", autopilot on"
+	}
+	fmt.Printf("jiscd: serving %s on %s (strategy %s, window %d, shards %d%s)\n",
+		p, srv.Addr(), *strat, *window, *shards, autopilot)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

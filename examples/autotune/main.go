@@ -1,11 +1,12 @@
 // Autotune: closing the optimize-at-runtime loop. The paper studies
 // the plan-transition mechanism and leaves the trigger policy to the
-// optimizer; this example wires the two together. An engine runs a
-// five-way join whose streams have very different selectivities — and
-// those selectivities swap mid-run. The optimizer.Advisor watches the
-// live probe/match counters, and whenever the measured best order
-// beats the running plan by enough margin, it proposes a transition
-// that JISC applies without halting the query.
+// optimizer; internal/adaptive packages that policy as a closed-loop
+// autopilot. An engine runs a five-way join whose streams have very
+// different selectivities — and those selectivities swap mid-run. The
+// adaptive.Controller watches the live probe/match counters and,
+// whenever the measured best order beats the running plan by enough
+// margin on enough consecutive ticks, installs the transition through
+// JISC without halting the query.
 //
 // Run with:
 //
@@ -14,13 +15,12 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"time"
 
+	"jisc/internal/adaptive"
 	"jisc/internal/core"
 	"jisc/internal/engine"
-	"jisc/internal/optimizer"
 	"jisc/internal/plan"
-	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
 
@@ -36,20 +36,21 @@ func main() {
 		WindowSize: window,
 		Strategy:   core.New(),
 	})
-	advisor := optimizer.MustNew(optimizer.Config{
-		MinImprovement: 0.2,
-		Cooldown:       5000,
-		MinProbes:      32,
+	auto := adaptive.MustNew(adaptive.SingleEngine{E: e}, adaptive.Config{
+		Cooldown:  2 * time.Second,
+		MinProbes: 32,
 	})
 
 	// Phase 1: stream 1 is a hose (tiny key domain, matches
 	// constantly) while stream 4 is highly selective. Phase 2 swaps
-	// their roles.
+	// their roles. The controller is single-stepped on a logical clock
+	// (one tick per 500 tuples), the deterministic mode the simulation
+	// harness uses too.
 	domainsByPhase := [][]int64{
 		{300, 20, 300, 300, 4000},
 		{300, 4000, 300, 300, 20},
 	}
-
+	clock := time.Unix(0, 0)
 	for ph, domains := range domainsByPhase {
 		src := workload.MustNewSource(workload.Config{
 			Streams: streams, Domain: 300, Seed: int64(ph + 1), Domains: domains,
@@ -57,25 +58,17 @@ func main() {
 		for i := 0; i < phase; i++ {
 			e.Feed(src.Next())
 			if i%500 == 0 {
-				advisor.Observe(e)
-				if p, ok := advisor.Propose(e.Plan()); ok {
-					if err := e.Migrate(p); err != nil {
-						log.Fatal(err)
-					}
-					order, _ := p.Order()
-					fmt.Printf("phase %d @%6d: re-planned to %v", ph+1, i, order)
-					fmt.Printf("  (sel:")
-					for s := tuple.StreamID(0); s < streams; s++ {
-						if v, ok := advisor.Selectivity(s); ok {
-							fmt.Printf(" %d=%.2f", s, v)
-						}
-					}
-					fmt.Println(")")
+				clock = clock.Add(500 * time.Millisecond)
+				before := auto.Migrations()
+				auto.Step(clock)
+				if auto.Migrations() != before {
+					order, _ := e.Plan().Order()
+					fmt.Printf("phase %d @%6d: autopilot re-planned to %v\n", ph+1, i, order)
 				}
 			}
 		}
 		m := e.Metrics()
-		fmt.Printf("phase %d done: in=%d out=%d transitions=%d lazy-completions=%d\n",
-			ph+1, m.Input, m.Output, m.Transitions, m.Completions)
+		fmt.Printf("phase %d done: in=%d out=%d transitions=%d lazy-completions=%d auto-migrations=%d\n",
+			ph+1, m.Input, m.Output, m.Transitions, m.Completions, auto.Migrations())
 	}
 }

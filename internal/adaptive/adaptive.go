@@ -1,0 +1,434 @@
+// Package adaptive closes the paper's re-optimization loop: a
+// per-query Controller periodically snapshots per-operator selectivity
+// and latency statistics from the sharded runtime, asks
+// optimizer.Advisor for a better plan, and installs accepted proposals
+// through the runtime's normal migration path — so WAL MIGRATE
+// records, JISC completion episodes, and migration tracing all work
+// unchanged under autopilot.
+//
+// The paper treats the transition trigger as orthogonal (§2) but its
+// §5.1.2 thrashing discussion makes the guard rails the interesting
+// part. The controller layers four on top of the advisor's own
+// improvement hysteresis:
+//
+//   - confirmation: a proposal must be re-derived on Confirm
+//     consecutive decision ticks before it is acted on, so a
+//     selectivity blip that oscillates around the improvement
+//     threshold never migrates;
+//   - cooldown: accepted migrations are separated by at least Cooldown
+//     of wall-clock time;
+//   - rate limit: at most MaxPerWindow migrations per RateWindow,
+//     whatever the statistics do;
+//   - regression guard: after each migration the controller compares
+//     the post-migration feed p99 (over RegressionWindow) against the
+//     pre-migration window; if it worsened beyond RegressionFactor×,
+//     the previous plan is restored and the regressed plan is vetoed
+//     for VetoHold.
+//
+// A Controller can run as a background goroutine (Start/Stop — the
+// server and cmd/jiscd mode) or be single-stepped with an injected
+// clock (Step — the simulation harness's deterministic mode and the
+// policy unit tests).
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jisc/internal/engine"
+	"jisc/internal/metrics"
+	"jisc/internal/obs"
+	"jisc/internal/optimizer"
+	"jisc/internal/plan"
+)
+
+// Target is the slice of a runtime the controller observes and drives.
+// *runtime.Runtime satisfies it; SingleEngine adapts a bare engine.
+type Target interface {
+	// ScanStats returns cumulative per-stream scan counters (summed
+	// across shards), ascending by stream ID.
+	ScanStats() ([]engine.ScanStats, error)
+	// Snapshot returns the live merged metrics counters.
+	Snapshot() metrics.Snapshot
+	// ObsSnapshot returns the merged latency histograms; an empty
+	// snapshot (Feed.Count == 0) disables the regression guard.
+	ObsSnapshot() obs.SetSnapshot
+	// Plan returns the currently executing plan.
+	Plan() (*plan.Plan, error)
+	// Migrate transitions every shard to p.
+	Migrate(p *plan.Plan) error
+}
+
+// Config parameterizes a Controller. The zero value of every field
+// selects a sane default; only Target is required.
+type Config struct {
+	// Interval is the decision-tick period of the background loop
+	// (default 500ms). Ignored when the controller is single-stepped.
+	Interval time.Duration
+	// Cooldown is the minimum wall-clock time between accepted
+	// migrations (default 5s). It should not be shorter than
+	// RegressionWindow, or a new migration can supersede an unresolved
+	// regression guard.
+	Cooldown time.Duration
+	// Confirm is how many consecutive decision ticks must re-derive the
+	// same proposal before it is installed (default 2) — the
+	// anti-flapping hysteresis on top of the advisor's MinImprovement.
+	Confirm int
+	// MaxPerWindow caps accepted migrations per RateWindow (default 4
+	// per minute). Rollbacks do not consume the budget.
+	MaxPerWindow int
+	// RateWindow is the rate-limit window (default 1m).
+	RateWindow time.Duration
+	// RegressionFactor triggers a rollback when the post-migration feed
+	// p99 exceeds the pre-migration p99 times this factor (default 2.0;
+	// negative disables the guard). The guard also stays quiet when
+	// either window holds fewer than 8 samples — in particular whenever
+	// the target runs without obs instrumentation.
+	RegressionFactor float64
+	// RegressionWindow is how long after a migration the guard waits
+	// before judging it (default 2s).
+	RegressionWindow time.Duration
+	// VetoHold is how long a rolled-back plan stays uninstallable
+	// (default 5×Cooldown).
+	VetoHold time.Duration
+
+	// MinImprovement, Decay, MinProbes, and UseLatency pass through to
+	// the optimizer.Advisor (MinImprovement default 0.2). The advisor's
+	// own tuple-count cooldown stays 0: pacing is the controller's job.
+	MinImprovement float64
+	Decay          float64
+	MinProbes      uint64
+	UseLatency     bool
+
+	// Tracer receives EvAutoDecision/EvAutoRollback (and the advisor's
+	// EvPlanProposed) events; Query labels them. May be nil.
+	Tracer *obs.Tracer
+	Query  string
+
+	// Now supplies the background loop's clock (default time.Now).
+	// Single-stepped controllers pass the time to Step directly.
+	Now func() time.Time
+}
+
+// minGuardSamples is the fewest feed-latency samples either regression
+// window may hold for the guard to judge a migration.
+const minGuardSamples = 8
+
+// Controller is one query's closed-loop autopilot. All methods are
+// safe for concurrent use; decision state is serialized by an internal
+// mutex, and the counters are atomic so STATS and /metrics read them
+// without blocking behind a decision tick.
+type Controller struct {
+	cfg     Config
+	target  Target
+	advisor *optimizer.Advisor
+
+	proposals  atomic.Uint64
+	migrations atomic.Uint64
+	rollbacks  atomic.Uint64
+	lastMig    atomic.Int64 // unix nanos of the last accepted migration, 0 = never
+
+	mu        sync.Mutex
+	pending   *plan.Plan // current confirmation candidate
+	confirms  int
+	cooldown  time.Time   // start of the active cooldown period
+	recent    []time.Time // accepted migrations inside RateWindow
+	veto      string      // plan string barred until vetoUntil
+	vetoUntil time.Time
+
+	// Regression-guard state. anchor is a trailing cumulative snapshot
+	// of the feed histogram, re-taken roughly every RegressionWindow, so
+	// feed.Sub(anchor) at migration time is the pre-migration window.
+	guardArmed bool
+	prevPlan   *plan.Plan
+	installed  string
+	migratedAt time.Time
+	atFeed     obs.HistSnapshot
+	baseline   obs.HistSnapshot
+	anchor     obs.HistSnapshot
+	anchorAt   time.Time
+
+	started   atomic.Bool
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a Controller for target. The controller is idle until
+// Start (background loop) or Step (manual ticks).
+func New(target Target, cfg Config) (*Controller, error) {
+	if target == nil {
+		return nil, fmt.Errorf("adaptive: nil target")
+	}
+	if cfg.Interval < 0 || cfg.Cooldown < 0 || cfg.RateWindow < 0 || cfg.RegressionWindow < 0 || cfg.VetoHold < 0 {
+		return nil, fmt.Errorf("adaptive: negative duration in config")
+	}
+	if cfg.Confirm < 0 || cfg.MaxPerWindow < 0 {
+		return nil, fmt.Errorf("adaptive: negative count in config")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Confirm == 0 {
+		cfg.Confirm = 2
+	}
+	if cfg.MaxPerWindow == 0 {
+		cfg.MaxPerWindow = 4
+	}
+	if cfg.RateWindow == 0 {
+		cfg.RateWindow = time.Minute
+	}
+	if cfg.RegressionFactor == 0 {
+		cfg.RegressionFactor = 2.0
+	}
+	if cfg.RegressionWindow == 0 {
+		cfg.RegressionWindow = 2 * time.Second
+	}
+	if cfg.VetoHold == 0 {
+		cfg.VetoHold = 5 * cfg.Cooldown
+	}
+	if cfg.MinImprovement == 0 {
+		cfg.MinImprovement = 0.2
+	}
+	adv, err := optimizer.New(optimizer.Config{
+		MinImprovement: cfg.MinImprovement,
+		Decay:          cfg.Decay,
+		MinProbes:      cfg.MinProbes,
+		UseLatency:     cfg.UseLatency,
+		Tracer:         cfg.Tracer,
+		Query:          cfg.Query,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:     cfg,
+		target:  target,
+		advisor: adv,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(target Target, cfg Config) *Controller {
+	c, err := New(target, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Start launches the background decision loop: one Step per Interval
+// until Stop. Start is idempotent.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		c.started.Store(true)
+		go c.loop()
+	})
+}
+
+func (c *Controller) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Step(c.now())
+		}
+	}
+}
+
+// Stop terminates the background loop and waits for any in-flight
+// decision tick to finish. Idempotent; a never-started controller
+// stops immediately. The target must still be accepting control
+// messages when Stop is called (stop the autopilot before closing the
+// runtime).
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		if c.started.Load() {
+			<-c.done
+		}
+		c.started.Store(false)
+	})
+}
+
+// Running reports whether the background loop is active.
+func (c *Controller) Running() bool { return c.started.Load() }
+
+func (c *Controller) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Proposals returns how many plan changes the advisor has proposed
+// (confirmed or not).
+func (c *Controller) Proposals() uint64 { return c.proposals.Load() }
+
+// Migrations returns how many proposals the controller has installed.
+func (c *Controller) Migrations() uint64 { return c.migrations.Load() }
+
+// Rollbacks returns how many installed plans the regression guard has
+// reverted.
+func (c *Controller) Rollbacks() uint64 { return c.rollbacks.Load() }
+
+// LastMigration returns when the controller last installed a plan; the
+// zero time when it never has.
+func (c *Controller) LastMigration() time.Time {
+	ns := c.lastMig.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Step runs one decision tick at the given time: fold fresh statistics
+// into the advisor, resolve a pending regression guard, and — when a
+// proposal has been confirmed and clears cooldown, rate limit, and
+// veto — migrate the target. Step is synchronous and deterministic
+// given the target's statistics, so the simulation harness drives it
+// with a logical clock between flush barriers.
+func (c *Controller) Step(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	stats, err := c.target.ScanStats()
+	if err != nil {
+		return // target closing; the loop will be stopped shortly
+	}
+	c.advisor.ObserveScanStats(stats, c.target.Snapshot().Input)
+	feed := c.target.ObsSnapshot().Feed
+
+	if c.guardArmed {
+		if now.Sub(c.migratedAt) >= c.cfg.RegressionWindow {
+			c.guardArmed = false
+			c.judge(now, feed)
+			c.anchor, c.anchorAt = feed, now
+		}
+	} else if now.Sub(c.anchorAt) >= c.cfg.RegressionWindow {
+		// Keep the trailing anchor about one RegressionWindow behind, so
+		// the pre-migration baseline spans a window comparable to the
+		// post-migration one.
+		c.anchor, c.anchorAt = feed, now
+	}
+
+	cur, err := c.target.Plan()
+	if err != nil {
+		return
+	}
+	p, ok := c.advisor.Propose(cur)
+	if !ok {
+		// The advisor no longer stands by the pending candidate (or the
+		// current plan is already best): drop the confirmation streak.
+		c.pending, c.confirms = nil, 0
+		return
+	}
+	c.proposals.Add(1)
+	if c.pending != nil && p.Equal(c.pending) {
+		c.confirms++
+	} else {
+		c.pending, c.confirms = p, 1
+	}
+	if c.confirms < c.cfg.Confirm {
+		return
+	}
+	if p.String() == c.veto && now.Before(c.vetoUntil) {
+		return
+	}
+	if !c.cooldown.IsZero() && now.Sub(c.cooldown) < c.cfg.Cooldown {
+		return
+	}
+	keep := c.recent[:0]
+	for _, t := range c.recent {
+		if now.Sub(t) < c.cfg.RateWindow {
+			keep = append(keep, t)
+		}
+	}
+	c.recent = keep
+	if len(c.recent) >= c.cfg.MaxPerWindow {
+		return
+	}
+
+	if err := c.target.Migrate(p); err != nil {
+		return
+	}
+	n := c.migrations.Add(1)
+	c.lastMig.Store(now.UnixNano())
+	c.cooldown = now
+	c.recent = append(c.recent, now)
+	c.pending, c.confirms = nil, 0
+
+	// Arm the regression guard: remember how to get back, what the feed
+	// latency looked like before, and where the post-migration window
+	// starts (a fresh snapshot, so the migration stall itself and the
+	// pre-window samples stay out of the judged interval).
+	c.prevPlan, c.installed = cur, p.String()
+	c.baseline = feed.Sub(c.anchor)
+	c.atFeed = c.target.ObsSnapshot().Feed
+	c.migratedAt = now
+	c.anchor, c.anchorAt = c.atFeed, now
+	c.guardArmed = c.cfg.RegressionFactor > 0
+
+	c.cfg.Tracer.Emit(obs.Event{
+		Kind: obs.EvAutoDecision, Query: c.cfg.Query, Count: n,
+		Note: cur.String() + " -> " + p.String(),
+	})
+}
+
+// judge resolves an armed regression guard: compare the post-migration
+// feed p99 against the pre-migration baseline and roll back on a
+// regression beyond RegressionFactor.
+func (c *Controller) judge(now time.Time, feed obs.HistSnapshot) {
+	post := feed.Sub(c.atFeed)
+	if c.baseline.Count < minGuardSamples || post.Count < minGuardSamples {
+		return
+	}
+	baseP99 := c.baseline.Quantile(0.99)
+	postP99 := post.Quantile(0.99)
+	if float64(postP99) <= float64(baseP99)*c.cfg.RegressionFactor {
+		return
+	}
+	if err := c.target.Migrate(c.prevPlan); err != nil {
+		return
+	}
+	n := c.rollbacks.Add(1)
+	c.veto, c.vetoUntil = c.installed, now.Add(c.cfg.VetoHold)
+	c.cooldown = now
+	c.pending, c.confirms = nil, 0
+	c.cfg.Tracer.Emit(obs.Event{
+		Kind: obs.EvAutoRollback, Query: c.cfg.Query, Count: n,
+		Dur:  postP99,
+		Note: c.installed + " -> " + c.prevPlan.String(),
+	})
+}
+
+// SingleEngine adapts a bare deterministic engine to the Target
+// interface for in-process use (examples, tests). The engine is
+// single-threaded: the caller must not feed it concurrently with
+// controller steps, so pair SingleEngine with manual Step calls, not
+// with Start.
+type SingleEngine struct{ E *engine.Engine }
+
+func (s SingleEngine) ScanStats() ([]engine.ScanStats, error) { return s.E.ScanStats(), nil }
+func (s SingleEngine) Snapshot() metrics.Snapshot             { return s.E.Metrics() }
+func (s SingleEngine) Plan() (*plan.Plan, error)              { return s.E.Plan(), nil }
+func (s SingleEngine) Migrate(p *plan.Plan) error             { return s.E.Migrate(p) }
+
+func (s SingleEngine) ObsSnapshot() obs.SetSnapshot {
+	if r := s.E.Obs(); r != nil {
+		return r.Snapshot()
+	}
+	return obs.SetSnapshot{}
+}

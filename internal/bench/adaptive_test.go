@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The adaptive benchmark is a smoke test here: correct row set, sane
+// rates, consistent summary ratios. The acceptance bounds (autopilot
+// above static-worst, within 10% of static-best) are not asserted —
+// CI machines are too noisy — the committed BENCH_adaptive.json
+// records a quiet-machine run.
+func TestAdaptiveBenchRuns(t *testing.T) {
+	cfg := tiny()
+	cfg.Reps = 1
+	var out bytes.Buffer
+	report, err := AdaptiveBench(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != adaptiveStreams+1 {
+		t.Fatalf("%d rows, want %d static rotations + 1 autopilot", len(report.Rows), adaptiveStreams)
+	}
+	for i, r := range report.Rows {
+		if r.TuplesPerSec <= 0 {
+			t.Fatalf("row %+v has no throughput", r)
+		}
+		wantVariant := "static"
+		if i == len(report.Rows)-1 {
+			wantVariant = "autopilot"
+		}
+		if r.Variant != wantVariant {
+			t.Fatalf("row %d variant %q, want %q", i, r.Variant, wantVariant)
+		}
+	}
+	if report.Tuples < 120_000 {
+		t.Fatalf("Tuples = %d; the bench must scale tiny configs up to its floor", report.Tuples)
+	}
+	if report.StaticWorst > report.StaticBest {
+		t.Fatalf("static worst %f above best %f", report.StaticWorst, report.StaticBest)
+	}
+	auto := report.Rows[len(report.Rows)-1]
+	if auto.TuplesPerSec != report.Autopilot {
+		t.Fatalf("autopilot summary %f != row %f", report.Autopilot, auto.TuplesPerSec)
+	}
+	if report.VsWorst != report.Autopilot/report.StaticWorst || report.VsBest != report.Autopilot/report.StaticBest {
+		t.Fatalf("inconsistent ratios in %+v", report)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("autopilot")) {
+		t.Fatal("report table missing the autopilot row")
+	}
+}

@@ -43,18 +43,20 @@ func CatalogPath(root string) string { return filepath.Join(root, "catalog.wal")
 
 // OpenCatalog opens (creating if needed) the catalog under opts.Dir,
 // replays it, truncates any torn tail at a record boundary, and
-// returns the surviving log plus the folded live query set in creation
-// order.
-func OpenCatalog(opts Options, stats *Stats) (*Catalog, []CatalogEntry, error) {
+// returns the surviving log, the folded live query set in creation
+// order, and the folded autopilot state — the set of query names whose
+// last AUTO toggle was ON and that were not dropped afterwards.
+func OpenCatalog(opts Options, stats *Stats) (*Catalog, []CatalogEntry, map[string]bool, error) {
 	opts = opts.WithDefaults()
 	fs := opts.FS
 	if err := fs.MkdirAll(opts.Dir); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	path := CatalogPath(opts.Dir)
 	c := &Catalog{fs: fs, path: path, dir: opts.Dir}
 
 	var entries []CatalogEntry
+	auto := make(map[string]bool)
 	data, err := readFile(fs, path)
 	if err == nil {
 		valid, serr := scanFrames(data, func(r Record) error {
@@ -72,17 +74,26 @@ func OpenCatalog(opts Options, stats *Stats) (*Catalog, []CatalogEntry, error) {
 						break
 					}
 				}
+				// A dropped query takes its autopilot state with it; a
+				// re-CREATE of the name starts with AUTO off.
+				delete(auto, r.Name)
+			case KindAuto:
+				if r.Auto {
+					auto[r.Name] = true
+				} else {
+					delete(auto, r.Name)
+				}
 			default:
 				return fmt.Errorf("durable: record kind %d does not belong in the catalog", r.Kind)
 			}
 			return nil
 		})
 		if serr != nil {
-			return nil, nil, serr
+			return nil, nil, nil, serr
 		}
 		if valid < int64(len(data)) {
 			if err := fs.Truncate(path, valid); err != nil {
-				return nil, nil, fmt.Errorf("durable: truncating torn catalog tail: %w", err)
+				return nil, nil, nil, fmt.Errorf("durable: truncating torn catalog tail: %w", err)
 			}
 			if stats != nil {
 				stats.TornTruncations.Add(1)
@@ -92,15 +103,15 @@ func OpenCatalog(opts Options, stats *Stats) (*Catalog, []CatalogEntry, error) {
 			stats.RecoveredEvents.Add(c.seq)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	f, err := fs.OpenAppend(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	c.f = f
-	return c, entries, nil
+	return c, entries, auto, nil
 }
 
 // AppendCreate durably logs a query creation before it is
@@ -112,6 +123,11 @@ func (c *Catalog) AppendCreate(name string, window int, plan string) error {
 // AppendDrop durably logs a query removal.
 func (c *Catalog) AppendDrop(name string) error {
 	return c.append(Record{Kind: KindDrop, Name: name})
+}
+
+// AppendAuto durably logs an autopilot toggle for a query.
+func (c *Catalog) AppendAuto(name string, on bool) error {
+	return c.append(Record{Kind: KindAuto, Name: name, Auto: on})
 }
 
 func (c *Catalog) append(r Record) error {

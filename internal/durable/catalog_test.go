@@ -6,7 +6,7 @@ import (
 
 func reopenCatalog(t *testing.T, dir string, stats *Stats) (*Catalog, []CatalogEntry) {
 	t.Helper()
-	c, entries, err := OpenCatalog(Options{Dir: dir}, stats)
+	c, entries, _, err := OpenCatalog(Options{Dir: dir}, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestCatalogRejectsForeignRecords(t *testing.T) {
 	}
 	f.Write(data)
 	f.Close()
-	if _, _, err := OpenCatalog(Options{Dir: dir}, nil); err == nil {
+	if _, _, _, err := OpenCatalog(Options{Dir: dir}, nil); err == nil {
 		t.Fatal("catalog accepted a feed record")
 	}
 }
@@ -141,7 +141,7 @@ func TestCatalogCrashConsistency(t *testing.T) {
 	for budget := int64(0); budget <= full; budget++ {
 		dir := t.TempDir()
 		crash := NewCrashFS(OS(), budget)
-		c, _, err := OpenCatalog(Options{Dir: dir, FS: crash}, nil)
+		c, _, _, err := OpenCatalog(Options{Dir: dir, FS: crash}, nil)
 		if err != nil {
 			continue // crashed before the catalog existed
 		}
@@ -153,7 +153,7 @@ func TestCatalogCrashConsistency(t *testing.T) {
 			acked++
 		}
 		c.Close()
-		c2, entries, err := OpenCatalog(Options{Dir: dir}, nil)
+		c2, entries, _, err := OpenCatalog(Options{Dir: dir}, nil)
 		if err != nil {
 			t.Fatalf("budget %d: reopen: %v", budget, err)
 		}
@@ -168,5 +168,63 @@ func TestCatalogCrashConsistency(t *testing.T) {
 				t.Fatalf("budget %d: entry %d = %q, want %q", budget, i, e.Name, names[i])
 			}
 		}
+	}
+}
+
+// The catalog folds AUTO toggles per query — last toggle wins, and a
+// DROP takes the query's autopilot state with it so a later re-CREATE
+// starts with AUTO off.
+func TestCatalogFoldsAutoToggles(t *testing.T) {
+	dir := t.TempDir()
+	c, _, auto, err := OpenCatalog(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto) != 0 {
+		t.Fatalf("fresh catalog has auto state %v", auto)
+	}
+	for _, step := range []func() error{
+		func() error { return c.AppendCreate("a", 100, "(0 1)") },
+		func() error { return c.AppendCreate("b", 100, "(0 1)") },
+		func() error { return c.AppendAuto("a", true) },
+		func() error { return c.AppendAuto("b", true) },
+		func() error { return c.AppendAuto("b", false) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	c2, entries, auto, err := OpenCatalog(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v, want a and b", entries)
+	}
+	if len(auto) != 1 || !auto["a"] {
+		t.Fatalf("auto = %v, want map[a:true]", auto)
+	}
+	// Dropping a clears its toggle even though the last AUTO record for
+	// a says on.
+	if err := c2.AppendDrop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AppendCreate("a", 100, "(0 1)"); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+
+	c3, entries, auto, err := OpenCatalog(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if len(entries) != 2 {
+		t.Fatalf("entries after re-create = %+v", entries)
+	}
+	if len(auto) != 0 {
+		t.Fatalf("auto = %v after DROP+re-CREATE, want empty", auto)
 	}
 }

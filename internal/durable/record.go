@@ -47,6 +47,9 @@ const (
 	// KindFeedBatch is one ingest batch: N input tuples appended —
 	// and fsynced — as a single record.
 	KindFeedBatch
+	// KindAuto is an autopilot toggle for a query (catalog log only):
+	// AUTO ON/OFF survive restarts by folding the last toggle per name.
+	KindAuto
 )
 
 // MaxBatchEvents is the most tuples one feedbatch record can carry
@@ -73,12 +76,15 @@ type Record struct {
 	// Events carries a KindFeedBatch batch, in arrival order. The
 	// slice makes Record non-comparable with ==; use Equal.
 	Events []workload.Event
+
+	// Auto is the autopilot state a KindAuto record toggles Name to.
+	Auto bool
 }
 
 // Equal reports whether two records are identical field for field.
 func (r Record) Equal(o Record) bool {
 	if r.Kind != o.Kind || r.Seq != o.Seq || r.Stream != o.Stream || r.Key != o.Key ||
-		r.Plan != o.Plan || r.Name != o.Name || r.Window != o.Window {
+		r.Plan != o.Plan || r.Name != o.Name || r.Window != o.Window || r.Auto != o.Auto {
 		return false
 	}
 	if len(r.Events) != len(o.Events) {
@@ -142,6 +148,16 @@ func appendFrame(buf []byte, r Record) ([]byte, error) {
 			buf = append(buf, byte(ev.Stream))
 			buf = le.AppendUint64(buf, uint64(ev.Key))
 		}
+	case KindAuto:
+		var err error
+		if buf, err = appendString8(buf, r.Name, "name"); err != nil {
+			return nil, err
+		}
+		on := byte(0)
+		if r.Auto {
+			on = 1
+		}
+		buf = append(buf, on)
 	default:
 		return nil, fmt.Errorf("durable: encoding unknown record kind %d", r.Kind)
 	}
@@ -237,6 +253,19 @@ func decodePayload(p []byte) (Record, error) {
 			b := body[2+9*i:]
 			r.Events[i] = workload.Event{Stream: tuple.StreamID(b[0]), Key: tuple.Value(le.Uint64(b[1:]))}
 		}
+	case KindAuto:
+		name, rest, err := takeString8(body, "name")
+		if err != nil {
+			return r, err
+		}
+		if len(rest) != 1 {
+			return r, fmt.Errorf("durable: auto body has %d bytes after name, want 1", len(rest))
+		}
+		if rest[0] > 1 {
+			return r, fmt.Errorf("durable: auto state byte %d is not 0 or 1", rest[0])
+		}
+		r.Name = name
+		r.Auto = rest[0] == 1
 	default:
 		return r, fmt.Errorf("durable: unknown record kind %d", p[0])
 	}

@@ -32,6 +32,8 @@ func sampleRecords() []Record {
 		{Kind: KindFeedBatch, Seq: 7, Events: []workload.Event{
 			{Stream: 0, Key: 9}, {Stream: 2, Key: -3}, {Stream: 1, Key: 1 << 50},
 		}},
+		{Kind: KindAuto, Seq: 8, Name: "sensors", Auto: true},
+		{Kind: KindAuto, Seq: 9, Name: "sensors", Auto: false},
 	}
 }
 
@@ -206,5 +208,16 @@ func TestRecordKinds(t *testing.T) {
 	var _ = tuple.StreamID(0)
 	if KindFeed == 0 {
 		t.Fatal("KindFeed must be non-zero: a zero-filled torn frame may not decode as a record")
+	}
+}
+
+// TestAutoBadStateByteRejected pins KindAuto's canonical encoding: the
+// trailing state byte is 0 or 1, anything else is corruption or skew.
+func TestAutoBadStateByteRejected(t *testing.T) {
+	data := mustFrames(t, Record{Kind: KindAuto, Seq: 1, Name: "q", Auto: true})
+	data[len(data)-1] = 2
+	patchCRC(data)
+	if _, err := scanFrames(data, func(Record) error { return nil }); err == nil {
+		t.Fatal("auto frame with state byte 2 decoded")
 	}
 }

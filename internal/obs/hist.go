@@ -134,6 +134,28 @@ func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Sub returns the element-wise difference s − o, the interval view of
+// a cumulative histogram: with o an earlier snapshot of the same
+// histogram, the result holds exactly the samples recorded between the
+// two snapshot points. Buckets subtract saturating at zero (weakly
+// consistent snapshots can transiently disagree per bucket), Count is
+// recomputed from the resulting buckets, and Max is inherited from s —
+// the per-interval maximum is not recoverable from cumulative state, so
+// the lifetime maximum stands in as an upper bound.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Max: s.Max}
+	for i := range s.Counts {
+		if s.Counts[i] > o.Counts[i] {
+			out.Counts[i] = s.Counts[i] - o.Counts[i]
+		}
+		out.Count += out.Counts[i]
+	}
+	if s.Sum > o.Sum {
+		out.Sum = s.Sum - o.Sum
+	}
+	return out
+}
+
 // Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
 // recorded samples: the bound of the first bucket whose cumulative
 // count reaches q·Count, clamped to the recorded maximum. Returns 0

@@ -30,6 +30,14 @@ const (
 	// EvSubscriberDropped: the server disconnected a subscriber whose
 	// connection fell behind; Count holds the drop total so far.
 	EvSubscriberDropped
+	// EvAutoDecision: the adaptive controller accepted a confirmed
+	// proposal and migrated the runtime (note holds "old -> new"; Count
+	// holds the controller's migration total so far).
+	EvAutoDecision
+	// EvAutoRollback: the adaptive controller's regression guard rolled
+	// the runtime back to the pre-migration plan (note holds
+	// "regressed -> restored"; Count holds the rollback total so far).
+	EvAutoRollback
 )
 
 var eventKindNames = [...]string{
@@ -40,6 +48,8 @@ var eventKindNames = [...]string{
 	EvCompletionStart:   "completion-start",
 	EvCompletionEnd:     "completion-end",
 	EvSubscriberDropped: "subscriber-dropped",
+	EvAutoDecision:      "auto-decision",
+	EvAutoRollback:      "auto-rollback",
 }
 
 func (k EventKind) String() string {

@@ -118,6 +118,22 @@ func (a *Advisor) Observe(e *engine.Engine) {
 	a.lastInput = in
 }
 
+// ObserveScanStats folds one cumulative per-stream counter reading —
+// typically runtime.ScanStats' cross-shard sums — plus the matching
+// cumulative input count into the estimates. Summed counters inherit
+// ObserveSample's reset handling: a plan transition zeroes every
+// shard's scan counters, the sums drop, and the advisor rebaselines.
+func (a *Advisor) ObserveScanStats(stats []engine.ScanStats, input uint64) {
+	for _, s := range stats {
+		a.ObserveSample(s.Stream, s.Probes, s.Matches)
+		a.ObserveLatencySample(s.Stream, s.ProbeNanos, s.ProbeSamples)
+	}
+	if input >= a.lastInput {
+		a.sinceInput += input - a.lastInput
+	}
+	a.lastInput = input
+}
+
 // ObserveSample folds one cumulative (probes, matches) reading for a
 // stream's scan state into the estimate. Exposed for tests and for
 // engines not owned by this process. A reading below the previous one

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"jisc/internal/adaptive"
 	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
@@ -43,6 +44,7 @@ const (
 	msgMetrics
 	msgPlan
 	msgCheckpoint
+	msgScanStats
 )
 
 type message struct {
@@ -54,6 +56,7 @@ type message struct {
 	snap    chan metrics.Snapshot
 	planCh  chan *plan.Plan
 	ckptW   io.Writer
+	scanCh  chan []engine.ScanStats
 }
 
 // Runner executes one continuous query on a dedicated worker
@@ -112,6 +115,13 @@ type Config struct {
 	// instead of starting empty. Incompatible with the Shed overflow
 	// policy. Ignored by NewRunner.
 	Durability durable.Options
+	// Adaptive, when non-nil, starts a closed-loop autopilot on the
+	// Runtime: an adaptive.Controller goroutine that watches the merged
+	// scan statistics and migrates all shards when a better plan is
+	// confirmed (New starts it — after recovery on the durable path —
+	// and Close stops it first). Its Tracer/Query default from Obs.
+	// Ignored by NewRunner; see also Runtime.StartAuto.
+	Adaptive *adaptive.Config
 }
 
 // NewRunner builds and starts a single-shard Runner. The Shards field
@@ -183,6 +193,8 @@ func (r *Runner) loop() {
 			msg.planCh <- r.eng.Plan()
 		case msgCheckpoint:
 			msg.done <- r.eng.Checkpoint(msg.ckptW)
+		case msgScanStats:
+			msg.scanCh <- r.eng.ScanStats()
 		}
 	}
 }
@@ -296,6 +308,18 @@ func (r *Runner) checkpointAsync(w io.Writer) (<-chan error, error) {
 		return nil, err
 	}
 	return done, nil
+}
+
+// ScanStats reads the engine's per-stream scan counters on the worker,
+// after all previously enqueued messages. The counters are plain
+// worker-owned fields, so the in-band round trip is what makes the
+// read race-free.
+func (r *Runner) ScanStats() ([]engine.ScanStats, error) {
+	ch := make(chan []engine.ScanStats, 1)
+	if err := r.send(message{kind: msgScanStats, scanCh: ch}); err != nil {
+		return nil, err
+	}
+	return <-ch, nil
 }
 
 // Plan returns the currently executing plan, observed on the worker

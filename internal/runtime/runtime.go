@@ -3,8 +3,10 @@ package runtime
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
+	"jisc/internal/adaptive"
 	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
@@ -43,6 +45,11 @@ type Runtime struct {
 	ckptStop  chan struct{}
 	ckptDone  chan struct{}
 	closeOnce sync.Once
+
+	// Autopilot state, nil while AUTO is off. autoMu also serializes
+	// StartAuto/StopAuto against each other.
+	autoMu sync.Mutex
+	auto   *adaptive.Controller
 }
 
 // New builds a Runtime with cfg.Shards workers (default 1).
@@ -69,7 +76,7 @@ func New(cfg Config) (*Runtime, error) {
 		if err := rt.recoverDurable(cfg, shards); err != nil {
 			return nil, err
 		}
-		return rt, nil
+		return rt.startConfiguredAuto(cfg)
 	}
 	for i := 0; i < shards; i++ {
 		if cfg.Obs != nil {
@@ -86,7 +93,67 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		rt.shards = append(rt.shards, r)
 	}
+	return rt.startConfiguredAuto(cfg)
+}
+
+// startConfiguredAuto starts the autopilot requested by Config.Adaptive
+// on a fully constructed (and, on the durable path, recovered) runtime.
+func (rt *Runtime) startConfiguredAuto(cfg Config) (*Runtime, error) {
+	if cfg.Adaptive == nil {
+		return rt, nil
+	}
+	if err := rt.StartAuto(*cfg.Adaptive); err != nil {
+		rt.Close()
+		return nil, err
+	}
 	return rt, nil
+}
+
+// StartAuto starts a closed-loop autopilot on the runtime: an
+// adaptive.Controller goroutine observing the merged scan statistics
+// and migrating all shards when a better plan is confirmed. The
+// controller's Tracer and Query default from the runtime's obs Set.
+// Errors if an autopilot is already running.
+func (rt *Runtime) StartAuto(cfg adaptive.Config) error {
+	rt.autoMu.Lock()
+	defer rt.autoMu.Unlock()
+	if rt.auto != nil {
+		return fmt.Errorf("runtime: autopilot already running")
+	}
+	if rt.obs != nil {
+		if cfg.Tracer == nil {
+			cfg.Tracer = rt.obs.Tracer
+		}
+		if cfg.Query == "" {
+			cfg.Query = rt.obs.Query
+		}
+	}
+	c, err := adaptive.New(rt, cfg)
+	if err != nil {
+		return err
+	}
+	rt.auto = c
+	c.Start()
+	return nil
+}
+
+// StopAuto stops the autopilot, waiting for any in-flight decision
+// tick. A no-op when none is running.
+func (rt *Runtime) StopAuto() {
+	rt.autoMu.Lock()
+	c := rt.auto
+	rt.auto = nil
+	rt.autoMu.Unlock()
+	if c != nil {
+		c.Stop()
+	}
+}
+
+// Auto returns the running autopilot controller, nil when AUTO is off.
+func (rt *Runtime) Auto() *adaptive.Controller {
+	rt.autoMu.Lock()
+	defer rt.autoMu.Unlock()
+	return rt.auto
 }
 
 // MustNew is New but panics on error.
@@ -233,6 +300,37 @@ func (rt *Runtime) QueueLen() int {
 // behind the others' plan.
 func (rt *Runtime) Plan() (*plan.Plan, error) { return rt.shards[0].Plan() }
 
+// ScanStats sums the per-stream scan counters across shards, each read
+// in-band on its worker. The sums are cumulative like the per-shard
+// counters; consumers diff successive readings (optimizer.Advisor
+// rebaselines when a transition resets them). During a Migrate fan-out
+// shards can briefly disagree on the plan; summing over the stream
+// union keeps the reading well-defined.
+func (rt *Runtime) ScanStats() ([]engine.ScanStats, error) {
+	byStream := make(map[tuple.StreamID]engine.ScanStats)
+	for _, r := range rt.shards {
+		stats, err := r.ScanStats()
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range stats {
+			agg := byStream[s.Stream]
+			agg.Stream = s.Stream
+			agg.Probes += s.Probes
+			agg.Matches += s.Matches
+			agg.ProbeNanos += s.ProbeNanos
+			agg.ProbeSamples += s.ProbeSamples
+			byStream[s.Stream] = agg
+		}
+	}
+	out := make([]engine.ScanStats, 0, len(byStream))
+	for _, s := range byStream {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out, nil
+}
+
 // Checkpoint serializes the single shard's state to w. With several
 // shards there is no single consistent stream; use CheckpointShard
 // per shard instead.
@@ -261,6 +359,9 @@ func (rt *Runtime) CheckpointShard(i int, w io.Writer) error {
 // equivalence tests rely on.
 func (rt *Runtime) Close() {
 	rt.closeOnce.Do(func() {
+		// The autopilot goes first: its decision ticks send control
+		// messages to the shards, so they must still be alive here.
+		rt.StopAuto()
 		if rt.ckptStop != nil {
 			close(rt.ckptStop)
 			<-rt.ckptDone

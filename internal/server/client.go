@@ -145,6 +145,12 @@ type Stats struct {
 	// BatchFlushes counts FeedBatch invocations on the server (FEEDB
 	// lines plus coalesced FEED runs).
 	BatchFillP50, BatchFlushes uint64
+	// AutoEnabled is 1 while the query's autopilot is on; the Auto*
+	// counters cover its decisions since the last AUTO ON.
+	AutoEnabled, AutoProposals, AutoMigrations, AutoRollbacks uint64
+	// LastMigrationAgeMS is milliseconds since the autopilot last
+	// installed a plan (0 = never; the server reports ≥ 1 otherwise).
+	LastMigrationAgeMS uint64
 }
 
 // Stats fetches the default query's counters.
@@ -190,6 +196,16 @@ func parseStats(resp string) (Stats, error) {
 			s.BatchFillP50 = n
 		case "batch_flushes":
 			s.BatchFlushes = n
+		case "auto_enabled":
+			s.AutoEnabled = n
+		case "auto_proposals":
+			s.AutoProposals = n
+		case "auto_migrations":
+			s.AutoMigrations = n
+		case "auto_rollbacks":
+			s.AutoRollbacks = n
+		case "last_migration_age_ms":
+			s.LastMigrationAgeMS = n
 		}
 	}
 	return s, nil

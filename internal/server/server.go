@@ -15,6 +15,10 @@
 //	                                 delivered as a single FeedBatch and
 //	                                 acknowledged with a single OK
 //	MIGRATE [query] <plan>           transition, e.g. MIGRATE ((0 2) 1)
+//	AUTO ON|OFF|STATUS [query]       toggle or inspect the autopilot: a
+//	                                 per-query adaptive controller that
+//	                                 watches live selectivities and
+//	                                 migrates the plan by itself
 //	SUBSCRIBE [query]                stream results on this connection
 //	STATS [query]                    one-line counters
 //	PLAN [query]                     current plan
@@ -47,6 +51,19 @@
 //	                                            (FeedBatch calls: FEEDB
 //	                                            lines plus coalesced
 //	                                            FEED runs)
+//	auto_enabled                                1 while the autopilot is
+//	                                            on for the query
+//	auto_proposals, auto_migrations,            plan changes proposed /
+//	auto_rollbacks                              installed / rolled back
+//	                                            by the autopilot since
+//	                                            its last AUTO ON
+//	last_migration_age_ms                       milliseconds since the
+//	                                            autopilot last installed
+//	                                            a plan (0 = never;
+//	                                            reported ≥ 1 otherwise)
+//
+// "AUTO STATUS [query]" answers with the same autopilot fields on one
+// "AUTO query=<name> ..." line.
 //
 // Lines are read through a 1 MiB cap: an over-long command draws
 // "ERR line longer than ..." and the connection survives, it is not
@@ -76,6 +93,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jisc/internal/adaptive"
 	"jisc/internal/core"
 	"jisc/internal/durable"
 	"jisc/internal/pipeline"
@@ -107,6 +125,14 @@ type Config struct {
 	// whole topology — catalog fold, then per-query checkpoint + WAL
 	// replay — before Listen accepts a single connection.
 	Durable durable.Options
+	// Adaptive is the autopilot template AUTO ON starts controllers
+	// with (and recovery, for queries whose logged AUTO state was on).
+	// The zero value uses the adaptive package defaults.
+	Adaptive adaptive.Config
+	// AutoStart turns the autopilot on for the default query at
+	// startup (cmd/jiscd -auto). With durability on, the toggle is
+	// logged like an AUTO ON command.
+	AutoStart bool
 }
 
 // Server hosts named continuous queries over TCP.
@@ -118,10 +144,13 @@ type Server struct {
 	catalog  *durable.Catalog
 	catStats *durable.Stats
 	// walDisabled counts mutating commands (FEED, MIGRATE, CREATE,
-	// DROP) executed while durability is off — each one is state a
-	// crash would silently lose, so the telemetry endpoint exposes the
-	// count distinctly rather than leaving "no WAL" invisible.
+	// DROP, AUTO ON/OFF) executed while durability is off — each one is
+	// state a crash would silently lose, so the telemetry endpoint
+	// exposes the count distinctly rather than leaving "no WAL"
+	// invisible.
 	walDisabled atomic.Uint64
+	// autoCfg is the autopilot template AUTO ON instantiates.
+	autoCfg adaptive.Config
 
 	mu          sync.Mutex
 	queries     map[string]*query
@@ -152,6 +181,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		template: cfg.Pipeline,
 		bufSize:  cfg.SubscriberBuffer,
+		autoCfg:  cfg.Adaptive,
 		queries:  make(map[string]*query),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -159,16 +189,82 @@ func New(cfg Config) (*Server, error) {
 		if err := s.recoverDurable(cfg); err != nil {
 			return nil, err
 		}
-		return s, nil
-	}
-	if cfg.Pipeline.Engine.Plan != nil {
+	} else if cfg.Pipeline.Engine.Plan != nil {
 		q, err := newQuery(DefaultQuery, cfg.Pipeline, s.bufSize)
 		if err != nil {
 			return nil, err
 		}
 		s.queries[DefaultQuery] = q
 	}
+	if cfg.AutoStart {
+		q, ok := s.queries[DefaultQuery]
+		if !ok {
+			s.Close()
+			return nil, errors.New("server: AutoStart needs a default query")
+		}
+		if err := s.autoOn(q); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: starting autopilot: %w", err)
+		}
+	}
 	return s, nil
+}
+
+// autoOn starts the autopilot on q from the server's template and,
+// with durability on, logs the toggle to the catalog — recovery then
+// re-enables it before Listen. Idempotent: an already-running
+// autopilot is left untouched (and nothing is re-logged).
+func (s *Server) autoOn(q *query) error {
+	if q.runner.Auto() != nil {
+		return nil
+	}
+	if err := q.runner.StartAuto(s.autoCfg); err != nil {
+		return err
+	}
+	if s.catalog != nil {
+		if err := s.catalog.AppendAuto(q.name, true); err != nil {
+			q.runner.StopAuto()
+			return fmt.Errorf("logging AUTO ON: %w", err)
+		}
+	}
+	return nil
+}
+
+// autoOff stops the autopilot on q, logging the toggle when durable.
+// Idempotent.
+func (s *Server) autoOff(q *query) error {
+	if q.runner.Auto() == nil {
+		return nil
+	}
+	q.runner.StopAuto()
+	if s.catalog != nil {
+		if err := s.catalog.AppendAuto(q.name, false); err != nil {
+			return fmt.Errorf("logging AUTO OFF: %w", err)
+		}
+	}
+	return nil
+}
+
+// autoStats reads q's autopilot telemetry: the enabled flag, the
+// proposal/migration/rollback counters, and the age of the last
+// autopilot migration in milliseconds (0 = never; clamped to ≥ 1 when
+// one happened, so "never" stays unambiguous). All zeros while the
+// autopilot is off — the counters belong to the running controller.
+func autoStats(q *query) (enabled, proposals, migrations, rollbacks, ageMS uint64) {
+	c := q.runner.Auto()
+	if c == nil {
+		return 0, 0, 0, 0, 0
+	}
+	enabled = 1
+	proposals, migrations, rollbacks = c.Proposals(), c.Migrations(), c.Rollbacks()
+	if t := c.LastMigration(); !t.IsZero() {
+		ms := time.Since(t).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		ageMS = uint64(ms)
+	}
+	return enabled, proposals, migrations, rollbacks, ageMS
 }
 
 // recoverDurable restores the server's query topology from the
@@ -180,7 +276,7 @@ func (s *Server) recoverDurable(cfg Config) error {
 	s.durable = opts
 	s.catStats = &durable.Stats{}
 	start := time.Now()
-	cat, entries, err := durable.OpenCatalog(opts, s.catStats)
+	cat, entries, auto, err := durable.OpenCatalog(opts, s.catStats)
 	if err != nil {
 		return fmt.Errorf("server: opening catalog: %w", err)
 	}
@@ -221,6 +317,19 @@ func (s *Server) recoverDurable(cfg Config) error {
 			return fail(fmt.Errorf("server: recovering query %q: %w", e.Name, err))
 		}
 		s.queries[e.Name] = q
+	}
+	// Autopilot state survives recovery: re-enable the controller of
+	// every query whose last logged toggle was ON (no re-logging — the
+	// catalog already says so).
+	for name, on := range auto {
+		if !on {
+			continue
+		}
+		if q, ok := s.queries[name]; ok {
+			if err := q.runner.StartAuto(s.autoCfg); err != nil {
+				return fail(fmt.Errorf("server: restarting autopilot of %q: %w", name, err))
+			}
+		}
 	}
 	durable.MarkRecovery(s.catStats, start)
 	return nil
@@ -673,6 +782,38 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				lw.flush()
 			}()
+		case "AUTO":
+			action, qname, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			q, leftover, err := s.splitQuery(qname)
+			if err != nil {
+				werr = respond(err)
+				break
+			}
+			if leftover != "" {
+				// Unlike FEED, AUTO takes no payload after the query name,
+				// so a leftover token is a typo'd name — don't let it fall
+				// through to the default query.
+				werr = respond(fmt.Errorf("no query %q", leftover))
+				break
+			}
+			switch strings.ToUpper(action) {
+			case "ON":
+				if !s.durable.Enabled() {
+					s.walDisabled.Add(1)
+				}
+				werr = respond(s.autoOn(q))
+			case "OFF":
+				if !s.durable.Enabled() {
+					s.walDisabled.Add(1)
+				}
+				werr = respond(s.autoOff(q))
+			case "STATUS":
+				en, pr, mg, rb, age := autoStats(q)
+				werr = lw.writeLine("AUTO query=%s enabled=%d proposals=%d migrations=%d rollbacks=%d last_migration_age_ms=%d",
+					q.name, en, pr, mg, rb, age)
+			default:
+				werr = respond(fmt.Errorf("AUTO wants ON, OFF, or STATUS"))
+			}
 		case "STATS":
 			q, _, err := s.splitQuery(rest)
 			if err != nil {
@@ -686,11 +827,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			o := q.obs.Snapshot()
 			ds := q.runner.DurableStats()
-			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d batch_fill_p50=%d batch_flushes=%d",
+			en, pr, mg, rb, age := autoStats(q)
+			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d batch_fill_p50=%d batch_flushes=%d auto_enabled=%d auto_proposals=%d auto_migrations=%d auto_rollbacks=%d last_migration_age_ms=%d",
 				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed(),
 				o.Feed.Quantile(0.50), o.Feed.Quantile(0.99), o.Completion.Count, q.dropped(),
 				ds.Appends, o.WALFsync.Quantile(0.99), ds.RecoveredEvents,
-				uint64(o.BatchFill.Quantile(0.50)), o.BatchFill.Count)
+				uint64(o.BatchFill.Quantile(0.50)), o.BatchFill.Count,
+				en, pr, mg, rb, age)
 		case "PLAN":
 			q, _, err := s.splitQuery(rest)
 			if err != nil {

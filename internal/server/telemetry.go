@@ -164,6 +164,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WritePromGauge(w, "jisc_wal_disabled", "", walDisabled)
 	obs.WritePromCounter(w, "jisc_wal_disabled_mutations_total", "", s.walDisabled.Load())
 
+	// Autopilot: the enabled gauge, the decision counters, and the age
+	// of the last self-driven migration. All zeros while AUTO is off.
+	autoSnaps := make([][5]uint64, len(qs))
+	for i, q := range qs {
+		en, pr, mg, rb, age := autoStats(q)
+		autoSnaps[i] = [5]uint64{en, pr, mg, rb, age}
+	}
+	obs.WritePromType(w, "jisc_auto_enabled", "gauge")
+	for i, q := range qs {
+		obs.WritePromGaugeSeries(w, "jisc_auto_enabled", obs.PromLabels(q.name), float64(autoSnaps[i][0]))
+	}
+	autoCounters := []struct {
+		name string
+		idx  int
+	}{
+		{"jisc_auto_proposals_total", 1},
+		{"jisc_auto_migrations_total", 2},
+		{"jisc_auto_rollbacks_total", 3},
+	}
+	for _, c := range autoCounters {
+		obs.WritePromType(w, c.name, "counter")
+		for i, q := range qs {
+			obs.WritePromCounterSeries(w, c.name, obs.PromLabels(q.name), autoSnaps[i][c.idx])
+		}
+	}
+	obs.WritePromType(w, "jisc_auto_last_migration_seconds", "gauge")
+	for i, q := range qs {
+		obs.WritePromGaugeSeries(w, "jisc_auto_last_migration_seconds", obs.PromLabels(q.name), float64(autoSnaps[i][4])/1e3)
+	}
+
 	hists := []struct {
 		name string
 		get  func(obs.SetSnapshot) obs.HistSnapshot

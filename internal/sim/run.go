@@ -66,6 +66,11 @@ func Run(sc Scenario) *Mismatch {
 			return m
 		}
 	}
+	if sc.UseAutopilot {
+		if m := runAutopilot(sc); m != nil {
+			return m
+		}
+	}
 	return nil
 }
 

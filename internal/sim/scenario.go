@@ -17,7 +17,11 @@
 // scenarios (UseFeedBatch) also exercise the batched ingest path —
 // engine FeedBatch with migrations landing mid-batch, the sharded
 // runtime's scatter path, and FEEDB WAL frames under crashes — each
-// differentially compared against the per-event path.
+// differentially compared against the per-event path. About a quarter
+// (UseAutopilot) additionally run under a single-stepped
+// adaptive.Controller, so the plans actually executed are chosen by
+// the live autopilot — and whatever it decides, the output multiset
+// must still match the oracle.
 //
 // On mismatch the harness shrinks (Shrink) and prints a one-line
 // repro: go test ./internal/sim -run 'TestSim$' -sim.seed=N.
@@ -86,6 +90,13 @@ type Scenario struct {
 	// differentially against the per-event path. BatchSize doubles as
 	// the chunk length.
 	UseFeedBatch bool
+	// UseAutopilot additionally runs the scenario under a
+	// single-stepped adaptive.Controller choosing plans from live
+	// selectivities (on top of the scheduled Migrations), compared
+	// against the plan-independent oracle. Autopilot scenarios draw a
+	// left-deep InitPlan, since the advisor only advises left-deep
+	// current plans.
+	UseAutopilot bool
 }
 
 // Generate derives a complete Scenario from one seed. Independent
@@ -160,6 +171,17 @@ func Generate(seed uint64) Scenario {
 
 	brng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "feedbatch")))
 	sc.UseFeedBatch = brng.Intn(2) == 0
+
+	arng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "autopilot")))
+	if arng.Intn(4) == 0 {
+		sc.UseAutopilot = true
+		ids := make([]tuple.StreamID, sc.Streams)
+		for i := range ids {
+			ids[i] = tuple.StreamID(i)
+		}
+		arng.Shuffle(sc.Streams, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		sc.InitPlan = plan.MustLeftDeep(ids...).String()
+	}
 	return sc
 }
 
@@ -227,8 +249,8 @@ func randPlan(rng *rand.Rand, streams int) string {
 // its seed instead.
 func Describe(sc Scenario) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d feedBatch=%v\n",
-		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip, sc.UseFeedBatch)
+	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d feedBatch=%v autopilot=%v\n",
+		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip, sc.UseFeedBatch, sc.UseAutopilot)
 	fmt.Fprintf(&b, "  plan %s\n", sc.InitPlan)
 	for _, m := range sc.Migrations {
 		fmt.Fprintf(&b, "  migrate@%d -> %s\n", m.At, m.Plan)

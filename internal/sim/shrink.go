@@ -47,6 +47,11 @@ func Shrink(sc Scenario, m *Mismatch, check func(Scenario) *Mismatch, budget int
 		c.UseFeedBatch = false
 		try(c)
 	}
+	if best.UseAutopilot {
+		c := best
+		c.UseAutopilot = false
+		try(c)
+	}
 
 	for progress := true; progress && runs < budget; {
 		progress = false

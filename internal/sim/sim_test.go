@@ -3,9 +3,27 @@ package sim
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+
+	"jisc/internal/plan"
+	"jisc/internal/tuple"
+	"jisc/internal/workload"
 )
+
+// leftDeepShuffle draws a seeded left-deep order, mirroring Generate's
+// autopilot branch for scenarios the generator didn't draw it on.
+func leftDeepShuffle(seed uint64, streams int) string {
+	rng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "autopilot-forced")))
+	ids := make([]tuple.StreamID, streams)
+	for i := range ids {
+		ids[i] = tuple.StreamID(i)
+	}
+	rng.Shuffle(streams, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return plan.MustLeftDeep(ids...).String()
+}
 
 var (
 	simN    = flag.Int("sim.n", 200, "scenarios per TestSim run (seeds sim.base..sim.base+sim.n-1)")
@@ -58,7 +76,7 @@ func TestGenerateDeterministic(t *testing.T) {
 // dimensions the harness exists for: migrations, back-to-back
 // switches, multiple shards, crash points, zipf skew, bushy plans.
 func TestScenarioDiversity(t *testing.T) {
-	var migrations, backToBack, sharded, crashes, zipf, bushy, batched, batchedCrash int
+	var migrations, backToBack, sharded, crashes, zipf, bushy, batched, batchedCrash, autopilot int
 	const n = 300
 	for seed := uint64(1); seed <= n; seed++ {
 		sc := Generate(seed)
@@ -80,6 +98,9 @@ func TestScenarioDiversity(t *testing.T) {
 		if sc.Shards > 1 {
 			sharded++
 		}
+		if sc.UseAutopilot {
+			autopilot++
+		}
 		if sc.CrashBudget > 0 {
 			crashes++
 		}
@@ -97,6 +118,7 @@ func TestScenarioDiversity(t *testing.T) {
 		"migrations": migrations, "back-to-back": backToBack, "sharded": sharded,
 		"crashes": crashes, "zipf": zipf,
 		"batched": batched, "batched-crash": batchedCrash,
+		"autopilot": autopilot,
 	} {
 		if got < n/20 {
 			t.Errorf("generator drew %q in only %d/%d scenarios", name, got, n)
@@ -138,6 +160,41 @@ func TestSimBatchedEquivalence(t *testing.T) {
 	if crashes < 6 {
 		t.Errorf("only %d/120 forced-batch scenarios drew a crash; the FEEDB crash path is under-covered", crashes)
 	}
+}
+
+// TestSimAutopilotEquivalence forces the autopilot dimension on for
+// every seed regardless of the generator's draw, so the controller's
+// decisions (on top of each scenario's scheduled migrations) get dense
+// differential coverage. Across the forced sweep the controller must
+// actually install plans — a dimension that never acts covers nothing.
+func TestSimAutopilotEquivalence(t *testing.T) {
+	var installs uint64
+	var mu sync.Mutex
+	for seed := uint64(1); seed <= 120; seed++ {
+		seed := seed
+		sc := Generate(seed)
+		if !sc.UseAutopilot {
+			// Mirror what Generate does for autopilot draws: the advisor
+			// only advises left-deep current plans.
+			sc.UseAutopilot = true
+			sc.InitPlan = leftDeepShuffle(seed, sc.Streams)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m, n := runAutopilotCount(sc)
+			if m != nil {
+				t.Fatalf("runAutopilot: %s", m)
+			}
+			mu.Lock()
+			installs += n
+			mu.Unlock()
+		})
+	}
+	t.Cleanup(func() {
+		if installs == 0 {
+			t.Errorf("the autopilot installed no plan across 120 forced scenarios; the dimension is inert")
+		}
+	})
 }
 
 // TestSimCatchesInjectedFault is the harness's self-test (the

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# End-to-end autopilot smoke: boot jiscd with -auto and a WAL, feed a
+# skewed workload over TCP until /metrics reports an autopilot
+# migration, kill -9, recover, and assert both the AUTO toggle and the
+# autopilot-installed plan survived.
+#
+# Usage: bash scripts/autopilot_smoke.sh
+# Env:   JISCD  path to a built jiscd binary (default: builds one)
+set -euo pipefail
+
+JISCD=${JISCD:-}
+if [ -z "$JISCD" ]; then
+  JISCD=/tmp/jiscd-auto-smoke
+  go build -o "$JISCD" ./cmd/jiscd
+fi
+WAL=$(mktemp -d /tmp/jisc-auto-wal.XXXXXX)
+ADDR=127.0.0.1:7979
+TEL=127.0.0.1:9191
+HOST=${ADDR%:*} PORT=${ADDR#*:}
+JISCD_PID=
+
+cleanup() {
+  [ -n "$JISCD_PID" ] && kill "$JISCD_PID" 2>/dev/null || true
+  rm -rf "$WAL"
+}
+trap cleanup EXIT
+
+# start <auto-interval>: the first boot ticks fast so the controller
+# acts during the feed; the recovery boot ticks slowly so the plan we
+# assert on is the recovered one, not a fresh decision.
+start() {
+  "$JISCD" -addr "$ADDR" -telemetry "$TEL" -wal "$WAL" -window 300 \
+    -auto -auto-interval "$1" -auto-cooldown 1s -plan "0,1,2" &
+  JISCD_PID=$!
+  for _ in $(seq 1 50); do
+    curl -fsS -o /dev/null "http://$TEL/healthz" 2>/dev/null && return
+    sleep 0.1
+  done
+  echo "jiscd did not come up" >&2
+  exit 1
+}
+
+ask() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf '%s\n' "$1" >&3
+  IFS= read -r REPLY <&3
+  exec 3<&- 3>&-
+  printf '%s\n' "$REPLY"
+}
+
+# feed_round: one connection, a burst of FEEDB lines. Stream 0 is the
+# hose (two keys); streams 1 and 2 spread over a wide domain — the
+# initial plan 0,1,2 probes the hose first, the worst order.
+feed_round() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  local lines=0 keys s i
+  for _ in $(seq 1 10); do
+    for s in 0 1 2; do
+      keys=""
+      for i in $(seq 1 60); do
+        if [ "$s" = 0 ]; then keys="$keys $((RANDOM % 2))"; else keys="$keys $((RANDOM % 3000))"; fi
+      done
+      printf 'FEEDB %s%s\n' "$s" "$keys" >&3
+      lines=$((lines + 1))
+    done
+  done
+  for _ in $(seq 1 "$lines"); do
+    IFS= read -r REPLY <&3
+    [ "$REPLY" = OK ] || { echo "feed rejected: $REPLY" >&2; exit 1; }
+  done
+  exec 3<&- 3>&-
+}
+
+migrations() {
+  curl -fsS "http://$TEL/metrics" | sed -n 's/^jisc_auto_migrations_total{query="default"} //p'
+}
+
+start 100ms
+ask "AUTO STATUS" | grep -q 'enabled=1' || { echo "-auto did not enable the autopilot"; exit 1; }
+
+for round in $(seq 1 60); do
+  feed_round
+  M=$(migrations)
+  echo "round $round: jisc_auto_migrations_total=$M"
+  [ "${M:-0}" -ge 1 ] && break
+  sleep 0.2
+done
+[ "${M:-0}" -ge 1 ] || { echo "autopilot never migrated"; exit 1; }
+
+PLAN_BEFORE=$(ask "PLAN")
+AUTO_BEFORE=$(ask "AUTO STATUS")
+echo "before crash: $PLAN_BEFORE / $AUTO_BEFORE"
+echo "$PLAN_BEFORE" | grep -qv '^PLAN ((0 1) 2)$' || { echo "plan unchanged from initial"; exit 1; }
+
+kill -9 "$JISCD_PID"
+wait "$JISCD_PID" 2>/dev/null || true
+
+start 10m
+PLAN_AFTER=$(ask "PLAN")
+AUTO_AFTER=$(ask "AUTO STATUS")
+echo "after recovery: $PLAN_AFTER / $AUTO_AFTER"
+echo "$AUTO_AFTER" | grep -q 'enabled=1' || { echo "AUTO state lost in recovery"; exit 1; }
+[ "$PLAN_AFTER" = "$PLAN_BEFORE" ] || { echo "autopilot plan lost: $PLAN_AFTER vs $PLAN_BEFORE"; exit 1; }
+METRICS=$(curl -fsS "http://$TEL/metrics")
+echo "$METRICS" | grep -q 'jisc_auto_enabled{query="default"} 1' \
+  || { echo "telemetry does not report the autopilot enabled"; exit 1; }
+
+echo "autopilot smoke passed"
