@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"jisc/internal/adaptive"
@@ -47,6 +49,34 @@ import (
 	"jisc/internal/plan"
 	"jisc/internal/server"
 )
+
+// parseStateBudget turns the -state-budget flag into the runtime's
+// StateBudget convention: "" → 0 (auto from GOMEMLIMIT when set),
+// "off" → -1 (never spill), otherwise a byte count with an optional
+// k/m/g suffix (powers of 1024).
+func parseStateBudget(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	if s == "off" {
+		return -1, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad -state-budget %q: want a positive byte count with optional k/m/g suffix, or \"off\"", s)
+	}
+	return n * mult, nil
+}
 
 func main() {
 	var (
@@ -63,6 +93,8 @@ func main() {
 		fsyncMode = flag.String("fsync", "batch", "WAL fsync policy: always (fsync before every ack), batch (group commit), off (no fsync)")
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit window for -fsync batch (0 = default 2ms)")
 		ckptIvl   = flag.Duration("checkpoint-interval", 0, "background checkpoint period (0 = default 15s, negative = never)")
+		budget    = flag.String("state-budget", "", "resident state budget across shards, e.g. 64m or 1g (suffix k/m/g, powers of 1024): cold state spills to disk and faults back on demand; empty = auto from GOMEMLIMIT when set, otherwise unbounded; \"off\" = never spill")
+		spillDir  = flag.String("spill-dir", "", "spill segment directory (a cache, wiped on start); empty = a temp directory")
 		auto      = flag.Bool("auto", false, "start the autopilot on the default query: watch live selectivities and migrate the plan automatically (toggle per query at runtime with AUTO ON/OFF)")
 		autoIvl   = flag.Duration("auto-interval", 0, "autopilot control-loop period (0 = default 500ms)")
 		autoCool  = flag.Duration("auto-cooldown", 0, "minimum pause between autopilot migrations (0 = default 5s)")
@@ -93,6 +125,10 @@ func main() {
 	if *shedding {
 		overflow = pipeline.Shed
 	}
+	stateBudget, err := parseStateBudget(*budget)
+	if err != nil {
+		die(err)
+	}
 
 	var dur durable.Options
 	if *walDir != "" {
@@ -114,10 +150,12 @@ func main() {
 	srv, err := server.New(server.Config{
 		Pipeline: pipeline.Config{
 			Engine: engine.Config{
-				Plan:       p,
-				WindowSize: *window,
-				TimeSpan:   *timeSpan,
-				Strategy:   strategy,
+				Plan:        p,
+				WindowSize:  *window,
+				TimeSpan:    *timeSpan,
+				Strategy:    strategy,
+				StateBudget: stateBudget,
+				SpillDir:    *spillDir,
 			},
 			QueueSize: *queue,
 			Overflow:  overflow,

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"jisc/internal/core"
+	"jisc/internal/engine"
+	"jisc/internal/runtime"
+	"jisc/internal/statestore"
+	"jisc/internal/workload"
+)
+
+// The spill benchmark answers the tiered state store's headline cost
+// questions: what does the always-on byte accounting cost when nothing
+// spills, and how does throughput degrade as the budget squeezes the
+// working set onto disk? The baseline is the identical runtime with
+// spilling off. The working set W is measured as the unbounded run's
+// peak resident bytes; the sweep then grants 2W (accounting and a
+// store attached, but nothing should spill), W (right at the margin),
+// and W/4 (most state on disk — the bounded-memory operating point).
+// The target from the issue: the 2W row should land within ~10% of
+// the unbounded baseline, because a budget that never binds should
+// cost only accounting.
+
+// SpillRow is one budget point of the sweep.
+type SpillRow struct {
+	// Mode names the budget relative to the working set: unbounded,
+	// 2x, 1x, quarter.
+	Mode string `json:"mode"`
+	// BudgetBytes is the absolute budget granted (0 = unbounded).
+	BudgetBytes int64 `json:"budget_bytes"`
+	// TuplesPerSec is the best-of-reps ingest rate over the full
+	// feed+flush cycle; VsUnbounded normalizes it to the baseline row.
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	VsUnbounded  float64 `json:"vs_unbounded"`
+	// Spill holds the store counters of the best rep (zero value for
+	// the unbounded row).
+	Spill statestore.Stats `json:"spill"`
+}
+
+// SpillReport is the result of one SpillBench run.
+type SpillReport struct {
+	Tuples int `json:"tuples"`
+	Window int `json:"window"`
+	// WorkingSetBytes is the unbounded run's peak resident footprint —
+	// the W the budget rows are multiples of.
+	WorkingSetBytes int64      `json:"working_set_bytes"`
+	Rows            []SpillRow `json:"rows"`
+}
+
+// SpillBench measures ingest throughput with spilling off and under
+// budgets of 2W, W, and W/4, where W is the measured peak working
+// set. Every variant feeds the identical tuple sequence through the
+// identical single-shard runtime; only the state budget differs.
+// Spill directories are created under the system temp dir (the real
+// filesystem, so faults take the ReaderAt path production uses) and
+// removed afterwards.
+func SpillBench(cfg Config, w io.Writer) (SpillReport, error) {
+	if err := cfg.validate(); err != nil {
+		return SpillReport{}, err
+	}
+	const streams = 3
+	evs := cfg.source(streams).Take(cfg.Tuples)
+	report := SpillReport{Tuples: cfg.Tuples, Window: cfg.Window}
+
+	runOnce := func(budget int64) (time.Duration, statestore.Stats, error) {
+		engCfg := engine.Config{
+			Plan:       initialPlan(streams),
+			WindowSize: cfg.Window,
+			Strategy:   core.New(),
+			// Negative forces spilling off for the baseline; the
+			// runtime's zero default would consult GOMEMLIMIT.
+			StateBudget: -1,
+		}
+		if budget > 0 {
+			dir, err := os.MkdirTemp("", "jisc-spillbench-")
+			if err != nil {
+				return 0, statestore.Stats{}, err
+			}
+			defer os.RemoveAll(dir)
+			engCfg.StateBudget = budget
+			engCfg.SpillDir = dir
+		}
+		rt, err := runtime.New(runtime.Config{Engine: engCfg, QueueSize: 4096})
+		if err != nil {
+			return 0, statestore.Stats{}, err
+		}
+		defer rt.Close()
+		start := time.Now()
+		for _, ev := range evs {
+			if err := rt.Feed(ev); err != nil {
+				return 0, statestore.Stats{}, err
+			}
+		}
+		if err := rt.Flush(); err != nil {
+			return 0, statestore.Stats{}, err
+		}
+		elapsed := time.Since(start)
+		spill, _ := rt.SpillStats()
+		return elapsed, spill, nil
+	}
+
+	// Measure the working set first: one unbounded pass polling the
+	// resident footprint at window-sized strides (state only grows
+	// within a stride modulo eviction, so stride peaks bound the true
+	// peak closely).
+	working, err := measureWorkingSet(cfg, streams, evs)
+	if err != nil {
+		return SpillReport{}, err
+	}
+	report.WorkingSetBytes = working
+
+	fprintf(w, "Tiered-state spill sweep, %d tuples, window %d, working set %d bytes, reps %d (best)\n",
+		cfg.Tuples, cfg.Window, working, cfg.reps())
+	fprintf(w, "%-10s %12s %14s %13s %10s %10s %14s\n",
+		"mode", "budget", "tuples/s", "vs-unbounded", "spills", "faults", "peak-resident")
+
+	budgets := []struct {
+		mode   string
+		budget int64
+	}{
+		{"unbounded", 0},
+		{"2x", 2 * working},
+		{"1x", working},
+		{"quarter", working / 4},
+	}
+	// Reps are interleaved across budget points — one full round of
+	// modes per rep — so slow machine drift (frequency scaling, noisy
+	// neighbors) hits every mode equally instead of skewing whichever
+	// mode happened to run during the slow minutes.
+	best := make([]time.Duration, len(budgets))
+	spills := make([]statestore.Stats, len(budgets))
+	for rep := 0; rep < cfg.reps(); rep++ {
+		for i, b := range budgets {
+			elapsed, spill, err := runOnce(b.budget)
+			if err != nil {
+				return SpillReport{}, err
+			}
+			if best[i] == 0 || elapsed < best[i] {
+				best[i] = elapsed
+				spills[i] = spill
+			}
+		}
+	}
+	baseRate := float64(len(evs)) / best[0].Seconds()
+	for i, b := range budgets {
+		rate := float64(len(evs)) / best[i].Seconds()
+		row := SpillRow{
+			Mode: b.mode, BudgetBytes: b.budget,
+			TuplesPerSec: rate, VsUnbounded: rate / baseRate,
+			Spill: spills[i],
+		}
+		report.Rows = append(report.Rows, row)
+		fprintf(w, "%-10s %12d %14.0f %12.2fx %10d %10d %14d\n",
+			b.mode, b.budget, rate, row.VsUnbounded, spills[i].Spills, spills[i].Faults, spills[i].PeakResidentBytes)
+	}
+	return report, nil
+}
+
+// measureWorkingSet runs the workload unbounded and returns the peak
+// resident byte footprint, polled every Window/4 events.
+func measureWorkingSet(cfg Config, streams int, evs []workload.Event) (int64, error) {
+	rt, err := runtime.New(runtime.Config{
+		Engine: engine.Config{
+			Plan:        initialPlan(streams),
+			WindowSize:  cfg.Window,
+			Strategy:    core.New(),
+			StateBudget: -1,
+		},
+		QueueSize: 4096,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+	stride := cfg.Window / 4
+	if stride < 1 {
+		stride = 1
+	}
+	var peak int64
+	for i, ev := range evs {
+		if err := rt.Feed(ev); err != nil {
+			return 0, err
+		}
+		if (i+1)%stride == 0 || i == len(evs)-1 {
+			b, err := rt.StateBytes()
+			if err != nil {
+				return 0, err
+			}
+			if b > peak {
+				peak = b
+			}
+		}
+	}
+	return peak, nil
+}

@@ -1,0 +1,30 @@
+package durable
+
+import "jisc/internal/storage"
+
+// The frame layer — len:u32 | crc:u32 | payload, little endian, CRC32C
+// over the payload — is shared by every log-structured file this
+// repository writes: the write-ahead log (record.go), the catalog log,
+// and the state-spill segments of internal/statestore. It lives in
+// internal/storage (a leaf package below both durable and statestore);
+// these aliases keep the on-disk discipline reachable under its
+// historical names.
+
+// FrameHeader is the byte length of a frame's len+crc header.
+const FrameHeader = storage.FrameHeader
+
+// AppendFramed appends payload to dst as one self-delimiting frame.
+func AppendFramed(dst, payload []byte) []byte { return storage.AppendFramed(dst, payload) }
+
+// SealFrame patches the FrameHeader bytes at start, treating
+// dst[start+FrameHeader:] as the frame's payload. Callers that build
+// the payload in place (reserving the header first) avoid the copy
+// AppendFramed would make.
+func SealFrame(dst []byte, start int) { storage.SealFrame(dst, start) }
+
+// NextFrame validates the frame at the head of data and returns its
+// payload and total encoded length. ok is false when data starts with
+// a torn or corrupted frame. max bounds the accepted payload length.
+func NextFrame(data []byte, max int) (payload []byte, n int, ok bool) {
+	return storage.NextFrame(data, max)
+}

@@ -161,9 +161,7 @@ func appendFrame(buf []byte, r Record) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("durable: encoding unknown record kind %d", r.Kind)
 	}
-	payload := buf[start+frameHeader:]
-	le.PutUint32(buf[start:], uint32(len(payload)))
-	le.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	SealFrame(buf, start)
 	return buf, nil
 }
 
@@ -301,16 +299,8 @@ func takeString16(b []byte, what string) (string, []byte, error) {
 func scanFrames(data []byte, fn func(Record) error) (int64, error) {
 	off := 0
 	for {
-		rest := data[off:]
-		if len(rest) < frameHeader {
-			return int64(off), nil
-		}
-		n := int(le.Uint32(rest))
-		if n == 0 || n > maxPayload || len(rest)-frameHeader < n {
-			return int64(off), nil
-		}
-		payload := rest[frameHeader : frameHeader+n]
-		if crc32.Checksum(payload, castagnoli) != le.Uint32(rest[4:]) {
+		payload, n, ok := NextFrame(data[off:], maxPayload)
+		if !ok {
 			return int64(off), nil
 		}
 		rec, err := decodePayload(payload)
@@ -322,6 +312,6 @@ func scanFrames(data []byte, fn func(Record) error) (int64, error) {
 				return int64(off), err
 			}
 		}
-		off += frameHeader + n
+		off += n
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"jisc/internal/obs"
 	"jisc/internal/plan"
+	"jisc/internal/storage"
 	"jisc/internal/tuple"
 )
 
@@ -62,6 +63,27 @@ type Config struct {
 	// Now supplies time for latency metrics; defaults to time.Now.
 	// Tests inject a fake clock.
 	Now func() time.Time
+	// StateBudget, when positive, bounds the engine's resident state
+	// bytes (state.TupleBytes accounting): a tiered statestore spills
+	// cold hash buckets to CRC-framed segment files and faults them
+	// back just in time when a probe needs them — the storage-level
+	// analogue of JISC's lazy completion. Zero or negative keeps all
+	// state resident (the default). Unsupported for set-difference
+	// pipelines, whose operator moves whole buckets between tables.
+	StateBudget int64
+	// SpillDir is the spill tier's segment directory. It is a cache —
+	// wiped on open, removed on Close — never durable state. Empty
+	// picks a fresh temp directory (or "jisc-spill" on an injected
+	// in-memory filesystem).
+	SpillDir string
+	// SpillFS overrides the spill tier's filesystem; nil means the
+	// real one. Tests and the simulation harness inject
+	// storage.NewMemFS() for hermetic, deterministic runs.
+	SpillFS storage.FS
+	// SpillSegmentBytes overrides the spill segment rotation size
+	// (default 1 MiB). The simulation harness shrinks it to force
+	// multi-segment stores under tiny budgets.
+	SpillSegmentBytes int64
 	// Deterministic makes the engine bit-for-bit reproducible across
 	// processes: key sets iterated during state completion and eager
 	// fills (IterKeys) are visited in sorted order instead of Go's

@@ -28,6 +28,7 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"jisc/internal/obs"
 	"jisc/internal/plan"
 	"jisc/internal/state"
+	"jisc/internal/statestore"
 	"jisc/internal/tuple"
 	"jisc/internal/window"
 	"jisc/internal/workload"
@@ -77,6 +79,10 @@ type Engine struct {
 	// Surviving a transition means staying in this map.
 	states map[tuple.StreamSet]*state.Table
 	lists  map[tuple.StreamSet]*state.List
+	// store is the tiered state backend, nil unless Config.StateBudget
+	// is positive. Every table attaches to it on creation; lists only
+	// account (nested-loops scans have no bucket granularity to spill).
+	store *statestore.Store
 	// born records the creation tick of each incomplete state so that
 	// the tick survives re-installation across overlapped transitions.
 	born map[tuple.StreamSet]uint64
@@ -128,6 +134,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Kind == SetDiff && !cfg.Plan.Root.IsLeftDeep() {
 		return nil, fmt.Errorf("engine: set-difference pipelines must be left-deep, got %s", cfg.Plan)
 	}
+	if cfg.StateBudget > 0 && cfg.Kind == SetDiff {
+		// The set-difference operator moves whole buckets between its
+		// tables; a spilled bucket would need a fault inside the move.
+		// Not wired — reject up front rather than corrupt accounting.
+		return nil, fmt.Errorf("engine: StateBudget spilling is unsupported for set-difference pipelines")
+	}
 	if cfg.Strategy == nil {
 		cfg.Strategy = Static{}
 	}
@@ -166,6 +178,33 @@ func New(cfg Config) (*Engine, error) {
 			e.windows[id] = window.New(id, size)
 		}
 		e.lastArrival[id] = make(map[tuple.Value]uint64)
+	}
+	if cfg.StateBudget > 0 {
+		opts := statestore.Options{
+			Budget:       cfg.StateBudget,
+			Dir:          cfg.SpillDir,
+			FS:           cfg.SpillFS,
+			SegmentBytes: cfg.SpillSegmentBytes,
+		}
+		if opts.Dir == "" {
+			if opts.FS == nil {
+				dir, err := os.MkdirTemp("", "jisc-spill-")
+				if err != nil {
+					return nil, fmt.Errorf("engine: spill dir: %w", err)
+				}
+				opts.Dir = dir
+			} else {
+				opts.Dir = "jisc-spill"
+			}
+		}
+		if cfg.Obs != nil {
+			opts.FaultLatency = &cfg.Obs.SpillFault
+		}
+		store, err := statestore.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		e.store = store
 	}
 	e.install(cfg.Plan, true)
 	return e, nil
@@ -235,9 +274,44 @@ func (e *Engine) SetOutput(out Output) {
 	e.cfg.Output = out
 }
 
-// Close releases the engine's pooled scratch resources. The engine
+// Close releases the engine's pooled scratch resources and, when
+// spilling is enabled, the spill tier's segment directory. The engine
 // must not be fed afterwards; tuples it produced stay valid.
-func (e *Engine) Close() { e.scratch.release() }
+func (e *Engine) Close() {
+	e.scratch.release()
+	if e.store != nil {
+		e.store.Close()
+	}
+}
+
+// SpillStats snapshots the tiered state store's counters; ok is false
+// when spilling is off (Config.StateBudget ≤ 0). The counters are
+// atomic: safe from any goroutine, concurrently with Feed.
+func (e *Engine) SpillStats() (statestore.Stats, bool) {
+	if e.store == nil {
+		return statestore.Stats{}, false
+	}
+	return e.store.Stats(), true
+}
+
+// StateBytes returns the resident byte footprint of the engine's state
+// (state.TupleBytes accounting). With spilling enabled it reads the
+// store's atomic counter and is safe from any goroutine; otherwise it
+// sums the live tables and lists and must run on the goroutine that
+// feeds the engine.
+func (e *Engine) StateBytes() int64 {
+	if e.store != nil {
+		return e.store.Stats().ResidentBytes
+	}
+	var b int64
+	for _, st := range e.states {
+		b += st.Bytes()
+	}
+	for _, ls := range e.lists {
+		b += ls.Bytes()
+	}
+	return b
+}
 
 // Feed implements Executor: enqueue and immediately process ev.
 func (e *Engine) Feed(ev workload.Event) {

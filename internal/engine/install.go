@@ -43,15 +43,19 @@ func (e *Engine) install(p *plan.Plan, initial bool) {
 	}
 	e.root = build(p.Root)
 	e.plan = p
-	// Discard states whose stream set is not in the new plan.
-	for set := range e.states {
+	// Discard states whose stream set is not in the new plan. Release
+	// detaches each from the spill tier first, so spilled buckets and
+	// byte accounting don't leak into the budget.
+	for set, st := range e.states {
 		if !live[set] {
+			st.Release()
 			delete(e.states, set)
 			delete(e.born, set)
 		}
 	}
-	for set := range e.lists {
+	for set, ls := range e.lists {
 		if !live[set] {
+			ls.Release()
 			delete(e.lists, set)
 			delete(e.born, set)
 		}
@@ -69,6 +73,13 @@ func (e *Engine) ensureTable(set tuple.StreamSet, initial bool) *state.Table {
 		st.MarkIncomplete()
 		e.born[set] = e.tick
 	}
+	if e.store != nil {
+		// Scan windows hold exactly one ref per tuple and evict in
+		// seq order, so spilled buckets can shrink by tombstone alone;
+		// join states need the removed tuples back (metrics, expiry
+		// retractions) and fault on eviction instead.
+		st.SetBackend(e.store, set.Count() == 1)
+	}
 	e.states[set] = st
 	return st
 }
@@ -81,6 +92,12 @@ func (e *Engine) ensureList(set tuple.StreamSet, initial bool) *state.List {
 	if !initial && set.Count() > 1 {
 		ls.MarkIncomplete()
 		e.born[set] = e.tick
+	}
+	if e.store != nil {
+		// Lists only account toward the budget; a nested-loops scan
+		// touches every stored tuple, so spilling them would fault the
+		// whole list back on each probe.
+		ls.SetBackend(e.store)
 	}
 	e.lists[set] = ls
 	return ls

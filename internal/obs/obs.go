@@ -76,6 +76,11 @@ type Recorder struct {
 	// and Count doubles as the batch-flush counter. Rendered with raw
 	// bucket bounds, never as seconds.
 	BatchFill Histogram
+	// SpillFault times tiered-state bucket faults: the disk read +
+	// decode a probe pays when its bucket was spilled past the state
+	// budget. Count doubles as the fault counter. Recorded by the
+	// statestore on the executor goroutine.
+	SpillFault Histogram
 
 	// Query and Shard label trace events emitted through this
 	// recorder.
@@ -136,6 +141,7 @@ func (r *Recorder) Snapshot() SetSnapshot {
 		WALAppend:  r.WALAppend.Snapshot(),
 		WALFsync:   r.WALFsync.Snapshot(),
 		BatchFill:  r.BatchFill.Snapshot(),
+		SpillFault: r.SpillFault.Snapshot(),
 	}
 }
 
@@ -214,6 +220,9 @@ type SetSnapshot struct {
 	WALFsync   HistSnapshot
 	// BatchFill buckets hold batch sizes in tuples, not nanoseconds.
 	BatchFill HistSnapshot
+	// SpillFault holds tiered-state bucket fault latencies; its Count
+	// is the fault total.
+	SpillFault HistSnapshot
 
 	// TraceDropped and TraceEmitted mirror the tracer's drop
 	// accounting at snapshot time.
@@ -232,6 +241,7 @@ func (s SetSnapshot) Add(o SetSnapshot) SetSnapshot {
 		WALAppend:    s.WALAppend.Add(o.WALAppend),
 		WALFsync:     s.WALFsync.Add(o.WALFsync),
 		BatchFill:    s.BatchFill.Add(o.BatchFill),
+		SpillFault:   s.SpillFault.Add(o.SpillFault),
 		TraceDropped: s.TraceDropped + o.TraceDropped,
 		TraceEmitted: s.TraceEmitted + o.TraceEmitted,
 	}

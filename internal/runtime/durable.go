@@ -61,8 +61,9 @@ func (rt *Runtime) recoverDurable(cfg Config, shards int) error {
 	}
 	results := make([]result, shards)
 	var wg sync.WaitGroup
+	budget := resolveStateBudget(cfg.Engine.StateBudget, cfg.Engine.Kind)
 	for i := 0; i < shards; i++ {
-		engCfg := cfg.Engine
+		engCfg := shardSpill(cfg.Engine, budget, shards, i)
 		if cfg.Obs != nil {
 			engCfg.Obs = cfg.Obs.Recorder(i)
 		}

@@ -28,6 +28,7 @@ import (
 	"jisc/internal/metrics"
 	"jisc/internal/obs"
 	"jisc/internal/plan"
+	"jisc/internal/statestore"
 	"jisc/internal/workload"
 )
 
@@ -45,6 +46,7 @@ const (
 	msgPlan
 	msgCheckpoint
 	msgScanStats
+	msgStateBytes
 )
 
 type message struct {
@@ -57,6 +59,7 @@ type message struct {
 	planCh  chan *plan.Plan
 	ckptW   io.Writer
 	scanCh  chan []engine.ScanStats
+	bytesCh chan int64
 }
 
 // Runner executes one continuous query on a dedicated worker
@@ -195,6 +198,8 @@ func (r *Runner) loop() {
 			msg.done <- r.eng.Checkpoint(msg.ckptW)
 		case msgScanStats:
 			msg.scanCh <- r.eng.ScanStats()
+		case msgStateBytes:
+			msg.bytesCh <- r.eng.StateBytes()
 		}
 	}
 }
@@ -321,6 +326,22 @@ func (r *Runner) ScanStats() ([]engine.ScanStats, error) {
 	}
 	return <-ch, nil
 }
+
+// StateBytes reads the engine's resident state footprint in-band on
+// the worker, after all previously enqueued messages.
+func (r *Runner) StateBytes() (int64, error) {
+	ch := make(chan int64, 1)
+	if err := r.send(message{kind: msgStateBytes, bytesCh: ch}); err != nil {
+		return 0, err
+	}
+	return <-ch, nil
+}
+
+// SpillStats snapshots the engine's tiered state store counters; ok is
+// false when spilling is off. The counters are atomic — safe from any
+// goroutine, concurrently with the worker, and never queued behind
+// tuples. Safe after Close.
+func (r *Runner) SpillStats() (statestore.Stats, bool) { return r.eng.SpillStats() }
 
 // Plan returns the currently executing plan, observed on the worker
 // after all previously enqueued messages.

@@ -3,6 +3,9 @@ package runtime
 import (
 	"fmt"
 	"io"
+	"math"
+	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -12,6 +15,7 @@ import (
 	"jisc/internal/metrics"
 	"jisc/internal/obs"
 	"jisc/internal/plan"
+	"jisc/internal/statestore"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
@@ -78,7 +82,10 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		return rt.startConfiguredAuto(cfg)
 	}
+	baseEng := cfg.Engine
+	budget := resolveStateBudget(baseEng.StateBudget, baseEng.Kind)
 	for i := 0; i < shards; i++ {
+		cfg.Engine = shardSpill(baseEng, budget, shards, i)
 		if cfg.Obs != nil {
 			// One recorder per shard; Set.Snapshot merges them, which
 			// is exact because bucket boundaries are shared.
@@ -154,6 +161,86 @@ func (rt *Runtime) Auto() *adaptive.Controller {
 	rt.autoMu.Lock()
 	defer rt.autoMu.Unlock()
 	return rt.auto
+}
+
+// resolveStateBudget interprets Config.Engine.StateBudget at the
+// runtime level, where it is the TOTAL resident-state budget across
+// all shards: positive is used as given (New splits it evenly), zero
+// auto-sizes to half of GOMEMLIMIT when the operator set one (the
+// other half is working memory — queues, scratch arenas, the Go
+// runtime itself) and leaves spilling off otherwise, and negative
+// forces spilling off regardless of GOMEMLIMIT. Set-difference
+// pipelines never auto-enable: the engine does not support spilling
+// them and would refuse to start.
+func resolveStateBudget(budget int64, kind engine.Kind) int64 {
+	switch {
+	case budget > 0:
+		return budget
+	case budget < 0:
+		return 0
+	}
+	if kind == engine.SetDiff {
+		return 0
+	}
+	if lim := debug.SetMemoryLimit(-1); lim < math.MaxInt64 {
+		return lim / 2
+	}
+	return 0
+}
+
+// shardSpill carves shard i's slice out of the runtime-wide spill
+// configuration: an equal share of the total budget and a
+// shard-private segment directory (shards run concurrently and must
+// not share an active segment file).
+func shardSpill(engCfg engine.Config, total int64, shards, i int) engine.Config {
+	if total <= 0 {
+		engCfg.StateBudget = 0
+		return engCfg
+	}
+	per := total / int64(shards)
+	if per <= 0 {
+		per = 1
+	}
+	engCfg.StateBudget = per
+	base := engCfg.SpillDir
+	if base == "" && engCfg.SpillFS != nil {
+		base = "jisc-spill"
+	}
+	if base != "" {
+		engCfg.SpillDir = filepath.Join(base, fmt.Sprintf("shard-%d", i))
+	}
+	// base == "" on the real filesystem: each engine picks its own
+	// temp directory, already shard-private.
+	return engCfg
+}
+
+// SpillStats merges the tiered state store counters across shards; ok
+// is false when spilling is off. The counters are atomic — safe from
+// any goroutine, concurrently with the workers, including after Close.
+func (rt *Runtime) SpillStats() (statestore.Stats, bool) {
+	var total statestore.Stats
+	any := false
+	for _, r := range rt.shards {
+		if s, ok := r.SpillStats(); ok {
+			total = total.Add(s)
+			any = true
+		}
+	}
+	return total, any
+}
+
+// StateBytes sums the resident state footprint across shards, each
+// read in-band on its worker after previously enqueued messages.
+func (rt *Runtime) StateBytes() (int64, error) {
+	var total int64
+	for _, r := range rt.shards {
+		b, err := r.StateBytes()
+		if err != nil {
+			return 0, err
+		}
+		total += b
+	}
+	return total, nil
 }
 
 // MustNew is New but panics on error.

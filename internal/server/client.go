@@ -145,6 +145,11 @@ type Stats struct {
 	// BatchFlushes counts FeedBatch invocations on the server (FEEDB
 	// lines plus coalesced FEED runs).
 	BatchFillP50, BatchFlushes uint64
+	// StateBytes is the resident state footprint across shards;
+	// SpillFaults counts tiered-state bucket faults (0 with spilling
+	// off — the server runs unbounded unless started with a state
+	// budget).
+	StateBytes, SpillFaults uint64
 	// AutoEnabled is 1 while the query's autopilot is on; the Auto*
 	// counters cover its decisions since the last AUTO ON.
 	AutoEnabled, AutoProposals, AutoMigrations, AutoRollbacks uint64
@@ -196,6 +201,10 @@ func parseStats(resp string) (Stats, error) {
 			s.BatchFillP50 = n
 		case "batch_flushes":
 			s.BatchFlushes = n
+		case "state_bytes":
+			s.StateBytes = n
+		case "spill_faults":
+			s.SpillFaults = n
 		case "auto_enabled":
 			s.AutoEnabled = n
 		case "auto_proposals":

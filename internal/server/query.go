@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -40,6 +41,12 @@ func newQuery(name string, cfg pipeline.Config, bufSize int) (*query, error) {
 	q.obs = obs.NewSet(name, 0)
 	cfg.Obs = q.obs
 	cfg.Engine.Output = q.broadcast
+	if cfg.Engine.SpillDir != "" {
+		// The flag-level spill dir is shared by every hosted query;
+		// each query's runtime wipes its directory on open, so they
+		// must not collide.
+		cfg.Engine.SpillDir = filepath.Join(cfg.Engine.SpillDir, name)
+	}
 	r, err := runtime.New(cfg)
 	if err != nil {
 		return nil, err

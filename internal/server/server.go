@@ -828,11 +828,18 @@ func (s *Server) handle(conn net.Conn) {
 			o := q.obs.Snapshot()
 			ds := q.runner.DurableStats()
 			en, pr, mg, rb, age := autoStats(q)
-			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d batch_fill_p50=%d batch_flushes=%d auto_enabled=%d auto_proposals=%d auto_migrations=%d auto_rollbacks=%d last_migration_age_ms=%d",
+			stateBytes, sberr := q.runner.StateBytes()
+			if sberr != nil {
+				werr = respond(sberr)
+				break
+			}
+			spill, _ := q.runner.SpillStats()
+			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d batch_fill_p50=%d batch_flushes=%d state_bytes=%d spill_faults=%d auto_enabled=%d auto_proposals=%d auto_migrations=%d auto_rollbacks=%d last_migration_age_ms=%d",
 				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed(),
 				o.Feed.Quantile(0.50), o.Feed.Quantile(0.99), o.Completion.Count, q.dropped(),
 				ds.Appends, o.WALFsync.Quantile(0.99), ds.RecoveredEvents,
 				uint64(o.BatchFill.Quantile(0.50)), o.BatchFill.Count,
+				stateBytes, spill.Faults,
 				en, pr, mg, rb, age)
 		case "PLAN":
 			q, _, err := s.splitQuery(rest)

@@ -10,6 +10,7 @@ import (
 
 	"jisc/internal/durable"
 	"jisc/internal/obs"
+	"jisc/internal/statestore"
 )
 
 // ServeTelemetry binds addr (e.g. "127.0.0.1:9090") and serves the
@@ -157,6 +158,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, q := range qs {
 		obs.WritePromGaugeSeries(w, "jisc_recovery_seconds", obs.PromLabels(q.name), float64(durSnaps[i].RecoveryNs)/1e9)
 	}
+	// Tiered state: resident footprint, spill segment count, and the
+	// fault counter. Segments and faults stay 0 for queries running
+	// without a state budget. With spilling on, state bytes come from
+	// the store's atomic accounting (lock-free); without it the only
+	// race-free read is in-band on each worker, so the scrape may
+	// briefly queue behind tuples there.
+	spillSnaps := make([]statestore.Stats, len(qs))
+	spillOn := make([]bool, len(qs))
+	for i, q := range qs {
+		spillSnaps[i], spillOn[i] = q.runner.SpillStats()
+	}
+	obs.WritePromType(w, "jisc_state_bytes", "gauge")
+	for i, q := range qs {
+		if spillOn[i] {
+			obs.WritePromGaugeSeries(w, "jisc_state_bytes", obs.PromLabels(q.name), float64(spillSnaps[i].ResidentBytes))
+		} else if b, err := q.runner.StateBytes(); err == nil {
+			obs.WritePromGaugeSeries(w, "jisc_state_bytes", obs.PromLabels(q.name), float64(b))
+		}
+	}
+	obs.WritePromType(w, "jisc_spill_segments", "gauge")
+	for i, q := range qs {
+		obs.WritePromGaugeSeries(w, "jisc_spill_segments", obs.PromLabels(q.name), float64(spillSnaps[i].Segments))
+	}
+	obs.WritePromType(w, "jisc_spill_fault_total", "counter")
+	for i, q := range qs {
+		obs.WritePromCounterSeries(w, "jisc_spill_fault_total", obs.PromLabels(q.name), spillSnaps[i].Faults)
+	}
+
 	walDisabled := 1.0
 	if s.durable.Enabled() {
 		walDisabled = 0
@@ -205,6 +234,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"jisc_migrate_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.Migrate }},
 		{"jisc_wal_append_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.WALAppend }},
 		{"jisc_wal_fsync_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.WALFsync }},
+		{"jisc_spill_fault_seconds", func(s obs.SetSnapshot) obs.HistSnapshot { return s.SpillFault }},
 	}
 	snaps := make([]obs.SetSnapshot, len(qs))
 	for i, q := range qs {

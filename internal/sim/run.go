@@ -10,6 +10,7 @@ import (
 	"jisc/internal/migrate"
 	"jisc/internal/plan"
 	"jisc/internal/runtime"
+	"jisc/internal/storage"
 	"jisc/internal/tuple"
 	"jisc/internal/workload"
 )
@@ -41,7 +42,9 @@ func (m *Mismatch) String() string {
 // (oracle, JISC, Moving State, Parallel Track) always runs; scenarios
 // with Shards > 1 additionally compare the sharded runtime against
 // per-shard oracles; scenarios with a crash budget additionally run
-// crash/recovery equivalence over a fault-injection filesystem.
+// crash/recovery equivalence over a fault-injection filesystem;
+// scenarios with UseSpill additionally run a budget-governed
+// spill-to-disk engine against the oracle.
 func Run(sc Scenario) *Mismatch {
 	if m := runQuartet(sc); m != nil {
 		return m
@@ -71,7 +74,80 @@ func Run(sc Scenario) *Mismatch {
 			return m
 		}
 	}
+	if sc.UseSpill {
+		if m := runSpill(sc); m != nil {
+			return m
+		}
+	}
 	return nil
+}
+
+// runSpill drives a JISC engine whose state is governed by the
+// scenario's tiny byte budget — cold buckets spilled to an in-memory
+// filesystem and faulted back on demand — through the same
+// event/migration interleaving as the quartet, comparing against the
+// oracle after every batch. Small segments keep many files live so
+// tombstone garbage and compaction get exercised too.
+func runSpill(sc Scenario) *Mismatch {
+	plans, err := parsePlans(sc)
+	if err != nil {
+		return harnessErr(sc, 0, err)
+	}
+	outs := map[string]int{}
+	e := engine.MustNew(engine.Config{
+		Plan:              plans[0],
+		WindowSizes:       winMap(sc),
+		Strategy:          core.New(),
+		Deterministic:     true,
+		StateBudget:       sc.SpillBudget,
+		SpillFS:           storage.NewMemFS(),
+		SpillSegmentBytes: 4 << 10,
+		Output: func(d engine.Delta) {
+			if !d.Retraction {
+				outs[d.Tuple.Fingerprint()]++
+			}
+		},
+	})
+	defer e.Close()
+	orc := newOracle(sc.Windows)
+
+	compare := func(fed, transitions int) *Mismatch {
+		if !multisetsEqual(orc.outs, outs) {
+			return &Mismatch{Scenario: sc, Engine: "jisc-spill", Batch: fed,
+				Detail: "output multiset diverges from oracle:\n" + diffMultisets(orc.outs, outs)}
+		}
+		s := e.Metrics()
+		if s.Input != uint64(fed) || s.Transitions != uint64(transitions) || s.Output != total(outs) {
+			return &Mismatch{Scenario: sc, Engine: "jisc-spill", Batch: fed,
+				Detail: fmt.Sprintf("counters diverge: Input=%d (want %d) Transitions=%d (want %d) Output=%d (want %d)",
+					s.Input, fed, s.Transitions, transitions, s.Output, total(outs))}
+		}
+		return nil
+	}
+
+	mig, transitions := 0, 0
+	for i := 0; i <= len(sc.Events); i++ {
+		for mig < len(sc.Migrations) && sc.Migrations[mig].At == i {
+			p := plans[1+mig]
+			if err := e.Migrate(p); err != nil {
+				return harnessErr(sc, i, fmt.Errorf("jisc-spill: migrate to %s: %w", p, err))
+			}
+			mig++
+			transitions++
+		}
+		if i == len(sc.Events) {
+			break
+		}
+		ev := sc.Events[i]
+		e.Feed(ev)
+		orc.feed(ev)
+		if (i+1)%sc.BatchSize == 0 {
+			if m := compare(i+1, transitions); m != nil {
+				return m
+			}
+		}
+	}
+	return compare(len(sc.Events), transitions)
 }
 
 // harnessErr wraps an unexpected infrastructure error (plan parse,

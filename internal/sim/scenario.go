@@ -21,7 +21,10 @@
 // (UseAutopilot) additionally run under a single-stepped
 // adaptive.Controller, so the plans actually executed are chosen by
 // the live autopilot — and whatever it decides, the output multiset
-// must still match the oracle.
+// must still match the oracle. About a third (UseSpill) additionally
+// run a JISC engine under a tiny randomized state budget, so nearly
+// every bucket lives in spill segments and faults back on demand —
+// migrations included, the output must still match the oracle.
 //
 // On mismatch the harness shrinks (Shrink) and prints a one-line
 // repro: go test ./internal/sim -run 'TestSim$' -sim.seed=N.
@@ -97,6 +100,13 @@ type Scenario struct {
 	// left-deep InitPlan, since the advisor only advises left-deep
 	// current plans.
 	UseAutopilot bool
+	// UseSpill additionally runs a JISC engine whose state is governed
+	// by SpillBudget bytes — cold buckets spill to an in-memory
+	// filesystem and fault back on probe — compared against the
+	// oracle. Budgets of a few hundred bytes force nearly all state
+	// through the spill/fault cycle.
+	UseSpill    bool
+	SpillBudget int64
 }
 
 // Generate derives a complete Scenario from one seed. Independent
@@ -182,6 +192,12 @@ func Generate(seed uint64) Scenario {
 		arng.Shuffle(sc.Streams, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		sc.InitPlan = plan.MustLeftDeep(ids...).String()
 	}
+
+	srng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "spill")))
+	if srng.Intn(3) == 0 {
+		sc.UseSpill = true
+		sc.SpillBudget = 128 + srng.Int63n(4096)
+	}
 	return sc
 }
 
@@ -249,8 +265,8 @@ func randPlan(rng *rand.Rand, streams int) string {
 // its seed instead.
 func Describe(sc Scenario) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d feedBatch=%v autopilot=%v\n",
-		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip, sc.UseFeedBatch, sc.UseAutopilot)
+	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d feedBatch=%v autopilot=%v spill=%v spillBudget=%d\n",
+		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip, sc.UseFeedBatch, sc.UseAutopilot, sc.UseSpill, sc.SpillBudget)
 	fmt.Fprintf(&b, "  plan %s\n", sc.InitPlan)
 	for _, m := range sc.Migrations {
 		fmt.Fprintf(&b, "  migrate@%d -> %s\n", m.At, m.Plan)

@@ -52,6 +52,11 @@ func Shrink(sc Scenario, m *Mismatch, check func(Scenario) *Mismatch, budget int
 		c.UseAutopilot = false
 		try(c)
 	}
+	if best.UseSpill {
+		c := best
+		c.UseSpill = false
+		try(c)
+	}
 
 	for progress := true; progress && runs < budget; {
 		progress = false

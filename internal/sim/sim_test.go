@@ -76,12 +76,15 @@ func TestGenerateDeterministic(t *testing.T) {
 // dimensions the harness exists for: migrations, back-to-back
 // switches, multiple shards, crash points, zipf skew, bushy plans.
 func TestScenarioDiversity(t *testing.T) {
-	var migrations, backToBack, sharded, crashes, zipf, bushy, batched, batchedCrash, autopilot int
+	var migrations, backToBack, sharded, crashes, zipf, bushy, batched, batchedCrash, autopilot, spill int
 	const n = 300
 	for seed := uint64(1); seed <= n; seed++ {
 		sc := Generate(seed)
 		if len(sc.Migrations) > 0 {
 			migrations++
+		}
+		if sc.UseSpill {
+			spill++
 		}
 		if sc.UseFeedBatch {
 			batched++
@@ -118,7 +121,7 @@ func TestScenarioDiversity(t *testing.T) {
 		"migrations": migrations, "back-to-back": backToBack, "sharded": sharded,
 		"crashes": crashes, "zipf": zipf,
 		"batched": batched, "batched-crash": batchedCrash,
-		"autopilot": autopilot,
+		"autopilot": autopilot, "spill": spill,
 	} {
 		if got < n/20 {
 			t.Errorf("generator drew %q in only %d/%d scenarios", name, got, n)
@@ -195,6 +198,31 @@ func TestSimAutopilotEquivalence(t *testing.T) {
 			t.Errorf("the autopilot installed no plan across 120 forced scenarios; the dimension is inert")
 		}
 	})
+}
+
+// TestSimSpillEquivalence forces the tiered-state dimension on for
+// every seed: a JISC engine under a tiny randomized byte budget — so
+// nearly all state lives in spill segments and every probe faults —
+// must match the oracle exactly, scheduled migrations included. Sixty
+// seeds: thrashing budgets make spill runs an order of magnitude
+// slower than the other forced sweeps, and the 5000-scenario CI sweep
+// exercises the dimension on ~1/3 of its seeds anyway.
+func TestSimSpillEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		seed := seed
+		sc := Generate(seed)
+		if !sc.UseSpill {
+			rng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "spill-forced")))
+			sc.UseSpill = true
+			sc.SpillBudget = 128 + rng.Int63n(4096)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if m := runSpill(sc); m != nil {
+				t.Fatalf("runSpill: %s", m)
+			}
+		})
+	}
 }
 
 // TestSimCatchesInjectedFault is the harness's self-test (the

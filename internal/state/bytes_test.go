@@ -1,0 +1,100 @@
+package state
+
+import (
+	"testing"
+
+	"jisc/internal/tuple"
+)
+
+// sumBytes recomputes a table's resident footprint from scratch.
+func sumBytes(t *Table) int64 {
+	var b int64
+	t.Each(func(tup *tuple.Tuple) bool {
+		b += TupleBytes(tup)
+		return true
+	})
+	return b
+}
+
+func TestTableByteAccounting(t *testing.T) {
+	tbl := NewTable(tuple.NewStreamSet(0))
+	if tbl.Bytes() != 0 {
+		t.Fatalf("fresh table has %d bytes", tbl.Bytes())
+	}
+	for i := 0; i < 20; i++ {
+		tup := tuple.NewBase(0, uint64(i+1), tuple.Value(i%5), uint64(i+1))
+		if i%3 == 0 {
+			tup.Payload = []tuple.Value{1, 2, 3}
+		}
+		tbl.Insert(tup)
+	}
+	if tbl.Bytes() != sumBytes(tbl) {
+		t.Fatalf("after inserts: accounted %d, actual %d", tbl.Bytes(), sumBytes(tbl))
+	}
+
+	// Evict a few refs, as the sliding window would.
+	for i := 0; i < 7; i++ {
+		tbl.RemoveRef(tuple.Value(i%5), tuple.Ref{Stream: 0, Seq: uint64(i + 1)})
+	}
+	if tbl.Bytes() != sumBytes(tbl) {
+		t.Fatalf("after evictions: accounted %d, actual %d", tbl.Bytes(), sumBytes(tbl))
+	}
+
+	// Remove a whole key bucket.
+	tbl.RemoveKey(2)
+	if tbl.Bytes() != sumBytes(tbl) {
+		t.Fatalf("after RemoveKey: accounted %d, actual %d", tbl.Bytes(), sumBytes(tbl))
+	}
+
+	tbl.Clear()
+	if tbl.Bytes() != 0 {
+		t.Fatalf("after Clear: %d bytes", tbl.Bytes())
+	}
+	if tbl.Size() != 0 {
+		t.Fatalf("after Clear: size %d", tbl.Size())
+	}
+}
+
+func TestTableByteAccountingComposites(t *testing.T) {
+	tbl := NewTable(tuple.NewStreamSet(0, 1))
+	a := tuple.NewBase(0, 1, 9, 1)
+	b := tuple.NewBase(1, 2, 9, 2)
+	comp := tuple.Join(a, b)
+	tbl.Insert(comp)
+	want := TupleBytes(comp)
+	if want != 64+2*16 {
+		t.Fatalf("TupleBytes(2-ref composite) = %d", want)
+	}
+	if tbl.Bytes() != want {
+		t.Fatalf("accounted %d, want %d", tbl.Bytes(), want)
+	}
+	tbl.RemoveRef(9, tuple.Ref{Stream: 0, Seq: 1})
+	if tbl.Bytes() != 0 {
+		t.Fatalf("after eviction: %d", tbl.Bytes())
+	}
+}
+
+func TestListByteAccounting(t *testing.T) {
+	l := NewList(tuple.NewStreamSet(0))
+	var want int64
+	for i := 0; i < 10; i++ {
+		tup := tuple.NewBase(0, uint64(i+1), tuple.Value(i), uint64(i+1))
+		want += TupleBytes(tup)
+		l.Insert(tup)
+	}
+	if l.Bytes() != want {
+		t.Fatalf("accounted %d, want %d", l.Bytes(), want)
+	}
+	removed := l.RemoveRef(tuple.Ref{Stream: 0, Seq: 3})
+	if len(removed) != 1 {
+		t.Fatalf("removed %d tuples", len(removed))
+	}
+	want -= TupleBytes(removed[0])
+	if l.Bytes() != want {
+		t.Fatalf("after eviction: accounted %d, want %d", l.Bytes(), want)
+	}
+	l.Clear()
+	if l.Bytes() != 0 {
+		t.Fatalf("after Clear: %d", l.Bytes())
+	}
+}

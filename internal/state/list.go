@@ -15,6 +15,14 @@ type List struct {
 	tuples   []*tuple.Tuple
 	complete bool
 
+	// bytes is the estimated heap footprint (TupleBytes summed) of the
+	// stored tuples. Lists never spill — a nested-loops state is
+	// scanned in full on every probe, so there is no cold bucket to
+	// tier out — but their footprint still counts against the backend
+	// budget so table spilling compensates for list growth.
+	bytes   int64
+	backend Backend
+
 	// attempted suppresses repeated completion work per probing base
 	// ref (the nested-loops analogue of Definition 2, where tuples
 	// cannot be classified by join-attribute value).
@@ -61,8 +69,43 @@ func (l *List) MarkAttempted(ref tuple.Ref) {
 	}
 }
 
+// SetBackend attaches a tiering backend for byte accounting only.
+// Any tuples already stored are accounted immediately.
+func (l *List) SetBackend(b Backend) {
+	l.backend = b
+	if b != nil {
+		b.Account(l.bytes)
+	}
+}
+
+// Release detaches the backend, dropping the list's byte accounting
+// from it. The list must not be used afterwards.
+func (l *List) Release() {
+	if l.backend == nil {
+		return
+	}
+	l.backend.Account(-l.bytes)
+	l.backend = nil
+}
+
+func (l *List) account(delta int64) {
+	l.bytes += delta
+	if l.backend != nil {
+		l.backend.Account(delta)
+	}
+}
+
+// Bytes returns the estimated heap footprint of the stored tuples.
+func (l *List) Bytes() int64 { return l.bytes }
+
 // Insert appends tup.
-func (l *List) Insert(tup *tuple.Tuple) { l.tuples = append(l.tuples, tup) }
+func (l *List) Insert(tup *tuple.Tuple) {
+	l.tuples = append(l.tuples, tup)
+	l.account(TupleBytes(tup))
+	if l.backend != nil {
+		l.backend.MaybeSpill()
+	}
+}
 
 // Each calls fn for every stored tuple until fn returns false.
 func (l *List) Each(fn func(*tuple.Tuple) bool) {
@@ -102,6 +145,11 @@ func (l *List) RemoveRef(ref tuple.Ref) []*tuple.Tuple {
 		l.tuples[i] = nil
 	}
 	l.tuples = kept
+	var b int64
+	for _, tup := range l.removed {
+		b += TupleBytes(tup)
+	}
+	l.account(-b)
 	return l.removed
 }
 
@@ -131,4 +179,7 @@ func (l *List) RestoreMeta(complete bool, attempted []tuple.Ref) {
 }
 
 // Clear removes all tuples but keeps completeness metadata.
-func (l *List) Clear() { l.tuples = nil }
+func (l *List) Clear() {
+	l.account(-l.bytes)
+	l.tuples = nil
+}

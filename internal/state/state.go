@@ -5,6 +5,12 @@
 // JISC layers on top of ordinary states: the complete/incomplete flag
 // of Definition 1, the per-key attempted set of Definition 2, and the
 // completion-detection counter of §4.3.
+//
+// Every state maintains byte accounting (TupleBytes summed over its
+// resident tuples), and a Table can attach a tiering Backend that
+// spills cold buckets out of the heap and faults them back on demand —
+// just-in-time residency, the storage-level analogue of the paper's
+// just-in-time completion.
 package state
 
 import (
@@ -25,7 +31,29 @@ type Table struct {
 	Set tuple.StreamSet
 
 	buckets map[tuple.Value][]*tuple.Tuple
-	size    int
+	// size counts the logical contents — resident plus spilled tuples.
+	// Spilling changes residency, never size.
+	size int
+
+	// bytes is the estimated heap footprint (TupleBytes summed) of the
+	// resident tuples only; spilled buckets are accounted by spilled.
+	bytes int64
+
+	// backend, when non-nil, governs residency: cold buckets move out
+	// of buckets into the backend (tracked by spilled) and fault back
+	// in on access. Nil keeps everything resident.
+	backend Backend
+	// tombstone selects the scan-table eviction mode: window eviction
+	// of a spilled ref is recorded as a backend tombstone instead of
+	// faulting the bucket in. Only sound for single-stream states,
+	// whose tuples are uniform base tuples with exactly one ref.
+	tombstone bool
+	// spilled maps each spilled key to its live count and accounted
+	// bytes. A key is in at most one of buckets and spilled.
+	spilled map[tuple.Value]spillInfo
+	// hot holds the CLOCK reference bits: touched resident buckets,
+	// checked-and-cleared by the backend's hand via ClockTouched.
+	hot map[tuple.Value]struct{}
 
 	// complete is Definition 1's flag. Scan states are always
 	// complete; join states become incomplete at a plan transition
@@ -72,6 +100,55 @@ func NewTable(set tuple.StreamSet) *Table {
 		complete: true,
 	}
 }
+
+// SetBackend attaches a tiering backend; tombstones selects the
+// scan-table eviction mode (see the tombstone field). Any tuples
+// already resident are accounted to the backend and admitted to its
+// hot tier.
+func (t *Table) SetBackend(b Backend, tombstones bool) {
+	t.backend = b
+	t.tombstone = tombstones
+	t.spilled = make(map[tuple.Value]spillInfo)
+	t.hot = make(map[tuple.Value]struct{}, len(t.buckets))
+	if b == nil {
+		return
+	}
+	b.Account(t.bytes)
+	for k := range t.buckets {
+		t.hot[k] = struct{}{}
+		b.Admit(t, k)
+	}
+	b.MaybeSpill()
+}
+
+// Release detaches the backend, dropping every spilled bucket and the
+// table's byte accounting from it. Called when the engine discards a
+// dead state; the table must not be used afterwards.
+func (t *Table) Release() {
+	if t.backend == nil {
+		return
+	}
+	t.backend.Drop(t)
+	t.backend.Account(-t.bytes)
+	for _, info := range t.spilled {
+		t.size -= info.count
+	}
+	t.backend = nil
+	t.spilled = nil
+	t.hot = nil
+}
+
+// account adjusts the resident byte estimate, mirroring the delta to
+// the backend when one is attached.
+func (t *Table) account(delta int64) {
+	t.bytes += delta
+	if t.backend != nil {
+		t.backend.Account(delta)
+	}
+}
+
+// Bytes returns the estimated heap footprint of the resident tuples.
+func (t *Table) Bytes() int64 { return t.bytes }
 
 // Complete reports whether the state is complete per Definition 1.
 func (t *Table) Complete() bool { return t.complete }
@@ -160,8 +237,14 @@ func (t *Table) DropPending(key tuple.Value) (drained bool) {
 }
 
 // Insert stores tup under its key. New buckets reuse backing arrays
-// recycled from previously emptied ones.
+// recycled from previously emptied ones. A spilled bucket is faulted
+// back first so a key is never split across tiers.
 func (t *Table) Insert(tup *tuple.Tuple) {
+	if t.backend != nil {
+		if _, sp := t.spilled[tup.Key]; sp {
+			t.fault(tup.Key)
+		}
+	}
 	bucket, ok := t.buckets[tup.Key]
 	if !ok && len(t.free) > 0 {
 		bucket = t.free[len(t.free)-1]
@@ -169,17 +252,75 @@ func (t *Table) Insert(tup *tuple.Tuple) {
 	}
 	t.buckets[tup.Key] = append(bucket, tup)
 	t.size++
+	t.account(TupleBytes(tup))
+	if t.backend != nil {
+		if t.backend.Pressured() {
+			t.hot[tup.Key] = struct{}{}
+		}
+		if !ok {
+			t.backend.Admit(t, tup.Key)
+		}
+		t.backend.MaybeSpill()
+	}
 }
 
-// Probe returns the tuples stored under key. The returned slice is
-// owned by the table; callers must not mutate it.
+// Probe returns the tuples stored under key, faulting the bucket back
+// in when it is spilled. The returned slice is owned by the table;
+// callers must not mutate it. It remains valid even if the bucket is
+// spilled again before the caller is done with it.
 func (t *Table) Probe(key tuple.Value) []*tuple.Tuple {
-	return t.buckets[key]
+	bucket := t.buckets[key]
+	if t.backend == nil {
+		return bucket
+	}
+	if bucket == nil {
+		if _, sp := t.spilled[key]; sp {
+			bucket = t.fault(key)
+			t.backend.MaybeSpill()
+		}
+		return bucket
+	}
+	if t.backend.Pressured() {
+		t.hot[key] = struct{}{}
+	}
+	return bucket
 }
 
-// ContainsKey reports whether any tuple is stored under key.
+// fault brings the spilled bucket for key back into residency and
+// returns its tuples. It deliberately does not trigger MaybeSpill —
+// callers do, after they have captured the returned slice — so the
+// just-faulted bucket cannot be detached mid-operation.
+func (t *Table) fault(key tuple.Value) []*tuple.Tuple {
+	info := t.spilled[key]
+	tuples := t.backend.Fault(t, key)
+	delete(t.spilled, key)
+	t.size += len(tuples) - info.count
+	if len(tuples) == 0 {
+		return nil
+	}
+	var b int64
+	for _, tup := range tuples {
+		b += TupleBytes(tup)
+	}
+	t.buckets[key] = tuples
+	t.hot[key] = struct{}{}
+	t.account(b)
+	t.backend.Admit(t, key)
+	return tuples
+}
+
+// ContainsKey reports whether any tuple is stored under key, resident
+// or spilled. It never faults.
 func (t *Table) ContainsKey(key tuple.Value) bool {
-	return len(t.buckets[key]) > 0
+	if len(t.buckets[key]) > 0 {
+		return true
+	}
+	if t.backend != nil {
+		if info, ok := t.spilled[key]; ok && info.count > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // RemoveRef removes every tuple under key whose provenance contains
@@ -187,10 +328,36 @@ func (t *Table) ContainsKey(key tuple.Value) bool {
 // upward). The bucket is compacted in place; an emptied bucket's
 // backing array is recycled for later Inserts.
 //
+// On a tombstone-mode table (scan states) a spilled bucket is not
+// faulted: the eviction is recorded as a backend tombstone and nil is
+// returned — base tuples have no derived results below them, so the
+// caller needs no removed set. Other tables fault the bucket in first
+// so the exact removed tuples can be reported.
+//
 // The returned slice is owned by the table and valid only until the
 // next RemoveRef call on it; callers needing the tuples longer must
 // copy them out.
 func (t *Table) RemoveRef(key tuple.Value, ref tuple.Ref) []*tuple.Tuple {
+	if t.backend != nil {
+		if info, sp := t.spilled[key]; sp {
+			if t.tombstone && info.count > 0 {
+				per := info.bytes / int64(info.count)
+				info.count--
+				info.bytes -= per
+				last := info.count == 0
+				if last {
+					delete(t.spilled, key)
+				} else {
+					t.spilled[key] = info
+				}
+				t.backend.Tombstone(t, key, ref.Seq, last)
+				t.size--
+				return nil
+			}
+			t.fault(key)
+			defer t.backend.MaybeSpill()
+		}
+	}
 	bucket, ok := t.buckets[key]
 	if !ok {
 		return nil
@@ -208,6 +375,11 @@ func (t *Table) RemoveRef(key tuple.Value, ref tuple.Ref) []*tuple.Tuple {
 		return nil
 	}
 	t.size -= len(t.removed)
+	var b int64
+	for _, tup := range t.removed {
+		b += TupleBytes(tup)
+	}
+	t.account(-b)
 	// Zero the tail so removed tuples are not retained by the backing
 	// array.
 	for i := len(kept); i < len(bucket); i++ {
@@ -215,6 +387,9 @@ func (t *Table) RemoveRef(key tuple.Value, ref tuple.Ref) []*tuple.Tuple {
 	}
 	if len(kept) == 0 {
 		delete(t.buckets, key)
+		if t.backend != nil {
+			delete(t.hot, key)
+		}
 		if len(t.free) < maxFreeBuckets && cap(bucket) > 0 {
 			t.free = append(t.free, kept)
 		}
@@ -226,29 +401,47 @@ func (t *Table) RemoveRef(key tuple.Value, ref tuple.Ref) []*tuple.Tuple {
 
 // RemoveKey removes and returns every tuple stored under key —
 // set-difference suppression and requalification move whole key
-// buckets between the passing and suppressed tables.
+// buckets between the passing and suppressed tables. A spilled bucket
+// is faulted in first.
 func (t *Table) RemoveKey(key tuple.Value) []*tuple.Tuple {
+	if t.backend != nil {
+		if _, sp := t.spilled[key]; sp {
+			t.fault(key)
+			defer t.backend.MaybeSpill()
+		}
+	}
 	bucket, ok := t.buckets[key]
 	if !ok {
 		return nil
 	}
 	delete(t.buckets, key)
+	if t.backend != nil {
+		delete(t.hot, key)
+	}
 	t.size -= len(bucket)
+	var b int64
+	for _, tup := range bucket {
+		b += TupleBytes(tup)
+	}
+	t.account(-b)
 	return bucket
 }
 
-// Size returns the number of stored tuples.
+// Size returns the number of stored tuples, resident plus spilled.
 func (t *Table) Size() int { return t.size }
 
 // DistinctKeys returns the number of distinct join-attribute values
 // present — the quantity the §4.3 counter is initialized from.
-func (t *Table) DistinctKeys() int { return len(t.buckets) }
+func (t *Table) DistinctKeys() int { return len(t.buckets) + len(t.spilled) }
 
-// Keys returns the distinct join-attribute values present. Order is
-// unspecified.
+// Keys returns the distinct join-attribute values present, resident or
+// spilled. Order is unspecified.
 func (t *Table) Keys() []tuple.Value {
-	out := make([]tuple.Value, 0, len(t.buckets))
+	out := make([]tuple.Value, 0, len(t.buckets)+len(t.spilled))
 	for k := range t.buckets {
+		out = append(out, k)
+	}
+	for k := range t.spilled {
 		out = append(out, k)
 	}
 	return out
@@ -296,6 +489,9 @@ func (t *Table) RestoreMeta(complete bool, attempted []tuple.Value, pending []tu
 }
 
 // Each calls fn for every stored tuple until fn returns false.
+// Spilled buckets are read through the backend without admitting
+// them, so iteration (checkpointing, discard scans) does not perturb
+// residency.
 func (t *Table) Each(fn func(*tuple.Tuple) bool) {
 	for _, bucket := range t.buckets {
 		for _, tup := range bucket {
@@ -304,11 +500,23 @@ func (t *Table) Each(fn func(*tuple.Tuple) bool) {
 			}
 		}
 	}
+	for key := range t.spilled {
+		if !t.backend.Peek(t, key, fn) {
+			return
+		}
+	}
 }
 
 // Clear removes all tuples but keeps completeness metadata. The
-// recycled-array pools are dropped too, releasing the memory.
+// recycled-array pools are dropped too, releasing the memory, and any
+// spilled buckets are discarded from the backend.
 func (t *Table) Clear() {
+	if t.backend != nil {
+		t.backend.Drop(t)
+		t.spilled = make(map[tuple.Value]spillInfo)
+		t.hot = make(map[tuple.Value]struct{})
+	}
+	t.account(-t.bytes)
 	t.buckets = make(map[tuple.Value][]*tuple.Tuple)
 	t.size = 0
 	t.free = nil
@@ -327,13 +535,63 @@ func (t *Table) CountOld(cutoff uint64, oldest func(*tuple.Tuple) uint64) int {
 			}
 		}
 	}
+	for key := range t.spilled {
+		t.backend.Peek(t, key, func(tup *tuple.Tuple) bool {
+			if oldest(tup) <= cutoff {
+				n++
+			}
+			return true
+		})
+	}
 	return n
 }
+
+// ResidentBucket returns the resident tuples under key — nil when the
+// bucket is spilled or absent. It never faults and never sets the
+// reference bit; it is the backend's view of spill candidates.
+func (t *Table) ResidentBucket(key tuple.Value) []*tuple.Tuple {
+	return t.buckets[key]
+}
+
+// MarkSpilled detaches the resident bucket for key after the backend
+// has durably captured it, returning the accounted bytes and tuple
+// count now spilled. The bucket's backing array is deliberately not
+// recycled into the free list: Probe callers may still hold it.
+func (t *Table) MarkSpilled(key tuple.Value) (bytes int64, count int) {
+	bucket := t.buckets[key]
+	if len(bucket) == 0 {
+		return 0, 0
+	}
+	var b int64
+	for _, tup := range bucket {
+		b += TupleBytes(tup)
+	}
+	delete(t.buckets, key)
+	delete(t.hot, key)
+	t.spilled[key] = spillInfo{count: len(bucket), bytes: b}
+	t.account(-b)
+	return b, len(bucket)
+}
+
+// ClockTouched reports whether key's bucket was touched since the last
+// check, clearing the reference bit — the CLOCK hand's second-chance
+// test.
+func (t *Table) ClockTouched(key tuple.Value) bool {
+	if _, ok := t.hot[key]; ok {
+		delete(t.hot, key)
+		return true
+	}
+	return false
+}
+
+// SpilledKeys returns the number of spilled buckets. Zero without a
+// backend.
+func (t *Table) SpilledKeys() int { return len(t.spilled) }
 
 func (t *Table) String() string {
 	status := "complete"
 	if !t.complete {
 		status = fmt.Sprintf("incomplete(counter=%d)", t.Counter())
 	}
-	return fmt.Sprintf("Table(%v %s size=%d keys=%d)", t.Set, status, t.size, len(t.buckets))
+	return fmt.Sprintf("Table(%v %s size=%d keys=%d)", t.Set, status, t.size, t.DistinctKeys())
 }

@@ -1,0 +1,427 @@
+package statestore
+
+import (
+	"fmt"
+	"testing"
+
+	"jisc/internal/state"
+	"jisc/internal/storage"
+	"jisc/internal/tuple"
+)
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = "spill"
+	}
+	if opts.FS == nil {
+		opts.FS = storage.NewMemFS()
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func base(stream tuple.StreamID, seq uint64, key tuple.Value) *tuple.Tuple {
+	return tuple.NewBase(stream, seq, key, seq)
+}
+
+// fill inserts n base tuples with distinct keys into tbl.
+func fill(tbl *state.Table, n int) {
+	for i := 0; i < n; i++ {
+		tbl.Insert(base(0, uint64(i+1), tuple.Value(i)))
+	}
+}
+
+func TestSpillAndFaultRoundTrip(t *testing.T) {
+	perTuple := state.TupleBytes(base(0, 1, 1))
+	s := mustOpen(t, Options{Budget: 4 * perTuple})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+
+	fill(tbl, 16)
+	st := s.Stats()
+	if st.ResidentBytes > 4*perTuple {
+		t.Fatalf("resident %d exceeds budget %d", st.ResidentBytes, 4*perTuple)
+	}
+	if st.Spills == 0 || st.SpilledBuckets == 0 {
+		t.Fatalf("expected spills, got %+v", st)
+	}
+	if tbl.Size() != 16 {
+		t.Fatalf("logical size = %d, want 16", tbl.Size())
+	}
+	if tbl.DistinctKeys() != 16 {
+		t.Fatalf("distinct keys = %d, want 16", tbl.DistinctKeys())
+	}
+	// Probe every key: spilled buckets fault back with identical
+	// contents.
+	for i := 0; i < 16; i++ {
+		got := tbl.Probe(tuple.Value(i))
+		if len(got) != 1 {
+			t.Fatalf("probe key %d: %d tuples, want 1", i, len(got))
+		}
+		tup := got[0]
+		if tup.Key != tuple.Value(i) || len(tup.Refs) != 1 || tup.Refs[0] != (tuple.Ref{Stream: 0, Seq: uint64(i + 1)}) {
+			t.Fatalf("probe key %d returned wrong tuple: %v", i, tup)
+		}
+		if tup.Arrival != uint64(i+1) || tup.Oldest != uint64(i+1) {
+			t.Fatalf("probe key %d lost ticks: %v", i, tup)
+		}
+	}
+	if s.Stats().Faults == 0 {
+		t.Fatal("expected faults")
+	}
+	if got := s.Stats().ResidentBytes; got > 4*perTuple {
+		t.Fatalf("resident %d exceeds budget after probes", got)
+	}
+}
+
+func TestMultiTupleBucketsAndPayloads(t *testing.T) {
+	s := mustOpen(t, Options{Budget: 1}) // everything spills
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+
+	for i := 0; i < 6; i++ {
+		tup := base(0, uint64(i+1), tuple.Value(i%2))
+		tup.Payload = []tuple.Value{tuple.Value(100 + i), tuple.Value(200 + i)}
+		tbl.Insert(tup)
+	}
+	if tbl.Size() != 6 {
+		t.Fatalf("size = %d", tbl.Size())
+	}
+	got := tbl.Probe(0)
+	if len(got) != 3 {
+		t.Fatalf("bucket 0 has %d tuples, want 3", len(got))
+	}
+	for _, tup := range got {
+		i := int(tup.Refs[0].Seq) - 1
+		want := []tuple.Value{tuple.Value(100 + i), tuple.Value(200 + i)}
+		if len(tup.Payload) != 2 || tup.Payload[0] != want[0] || tup.Payload[1] != want[1] {
+			t.Fatalf("payload lost in round trip: %v", tup)
+		}
+	}
+}
+
+func TestTombstoneEviction(t *testing.T) {
+	perTuple := state.TupleBytes(base(0, 1, 1))
+	s := mustOpen(t, Options{Budget: 2 * perTuple})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+
+	// Two tuples per key so tombstones have a partial phase.
+	for i := 0; i < 8; i++ {
+		tbl.Insert(base(0, uint64(i+1), tuple.Value(i%4)))
+	}
+	if s.Stats().SpilledBuckets == 0 {
+		t.Fatal("expected spilled buckets")
+	}
+	// Evict the first round (seqs 1..4) in order, like a sliding
+	// window would.
+	for i := 0; i < 4; i++ {
+		tbl.RemoveRef(tuple.Value(i%4), tuple.Ref{Stream: 0, Seq: uint64(i + 1)})
+	}
+	if tbl.Size() != 4 {
+		t.Fatalf("size after eviction = %d, want 4", tbl.Size())
+	}
+	// Every key still has one live tuple, visible without faulting.
+	for i := 0; i < 4; i++ {
+		if !tbl.ContainsKey(tuple.Value(i)) {
+			t.Fatalf("key %d vanished", i)
+		}
+	}
+	// Faulting in filters the tombstoned tuples.
+	for i := 0; i < 4; i++ {
+		got := tbl.Probe(tuple.Value(i))
+		if len(got) != 1 {
+			t.Fatalf("key %d: %d tuples, want 1", i, len(got))
+		}
+		if got[0].Refs[0].Seq != uint64(i+5) {
+			t.Fatalf("key %d: survivor has seq %d, want %d", i, got[0].Refs[0].Seq, i+5)
+		}
+	}
+	// Evict the second round; keys disappear entirely.
+	for i := 0; i < 4; i++ {
+		tbl.RemoveRef(tuple.Value(i%4), tuple.Ref{Stream: 0, Seq: uint64(i + 5)})
+	}
+	if tbl.Size() != 0 {
+		t.Fatalf("size = %d, want 0", tbl.Size())
+	}
+	for i := 0; i < 4; i++ {
+		if tbl.ContainsKey(tuple.Value(i)) {
+			t.Fatalf("key %d still present", i)
+		}
+	}
+}
+
+func TestEachAndCountOldCoverSpilled(t *testing.T) {
+	s := mustOpen(t, Options{Budget: 1})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 10)
+
+	faultsBefore := s.Stats().Faults
+	seen := make(map[tuple.Value]bool)
+	tbl.Each(func(tup *tuple.Tuple) bool {
+		seen[tup.Key] = true
+		return true
+	})
+	if len(seen) != 10 {
+		t.Fatalf("Each saw %d keys, want 10", len(seen))
+	}
+	if n := tbl.CountOld(5, func(tup *tuple.Tuple) uint64 { return tup.Oldest }); n != 5 {
+		t.Fatalf("CountOld = %d, want 5", n)
+	}
+	if s.Stats().Faults != faultsBefore {
+		t.Fatal("iteration must not fault buckets in")
+	}
+}
+
+func TestClearDropsSpilled(t *testing.T) {
+	s := mustOpen(t, Options{Budget: 1})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 10)
+
+	tbl.Clear()
+	if tbl.Size() != 0 || tbl.DistinctKeys() != 0 || tbl.Bytes() != 0 {
+		t.Fatalf("Clear left size=%d keys=%d bytes=%d", tbl.Size(), tbl.DistinctKeys(), tbl.Bytes())
+	}
+	st := s.Stats()
+	if st.SpilledBuckets != 0 || st.SpilledBytes != 0 {
+		t.Fatalf("Clear left spilled state: %+v", st)
+	}
+	if st.ResidentBytes != 0 {
+		t.Fatalf("Clear left resident accounting: %d", st.ResidentBytes)
+	}
+	// The table is fully usable after Clear.
+	fill(tbl, 4)
+	if tbl.Size() != 4 {
+		t.Fatalf("size after refill = %d", tbl.Size())
+	}
+}
+
+func TestInsertIntoSpilledBucketFaultsFirst(t *testing.T) {
+	perTuple := state.TupleBytes(base(0, 1, 1))
+	s := mustOpen(t, Options{Budget: 2 * perTuple})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 6)
+	// Key 0 is almost certainly spilled; inserting another tuple under
+	// it must keep the bucket whole.
+	tbl.Insert(base(0, 100, 0))
+	got := tbl.Probe(0)
+	if len(got) != 2 {
+		t.Fatalf("bucket 0 has %d tuples, want 2", len(got))
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	perTuple := state.TupleBytes(base(0, 1, 1))
+	s := mustOpen(t, Options{Budget: perTuple, MinCompactBytes: 256, SegmentBytes: 1024})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+
+	// Spill a lot, then evict most of it so garbage accumulates.
+	for i := 0; i < 64; i++ {
+		tbl.Insert(base(0, uint64(i+1), tuple.Value(i)))
+	}
+	for i := 0; i < 56; i++ {
+		tbl.RemoveRef(tuple.Value(i), tuple.Ref{Stream: 0, Seq: uint64(i + 1)})
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("expected compactions, got %+v", st)
+	}
+	if st.GarbageBytes < 0 {
+		t.Fatalf("negative garbage: %+v", st)
+	}
+	// Surviving keys are intact.
+	live := 0
+	for i := 0; i < 64; i++ {
+		if tbl.ContainsKey(tuple.Value(i)) {
+			live++
+		}
+	}
+	if live != 8 {
+		t.Fatalf("%d live keys, want 8", live)
+	}
+	if tbl.Size() != 8 {
+		t.Fatalf("size = %d, want 8", tbl.Size())
+	}
+}
+
+func TestFaultLoadedSliceSurvivesRespill(t *testing.T) {
+	perTuple := state.TupleBytes(base(0, 1, 1))
+	s := mustOpen(t, Options{Budget: 2 * perTuple})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 8)
+
+	// Hold the probe result, then force churn that re-spills the
+	// bucket; the held slice must stay valid.
+	held := tbl.Probe(0)
+	if len(held) != 1 {
+		t.Fatalf("probe: %d tuples", len(held))
+	}
+	for i := 100; i < 120; i++ {
+		tbl.Insert(base(0, uint64(i+1), tuple.Value(i)))
+	}
+	if held[0].Key != 0 || held[0].Refs[0].Seq != 1 {
+		t.Fatalf("held slice corrupted: %v", held[0])
+	}
+}
+
+func TestUnboundedBudgetNeverSpills(t *testing.T) {
+	s := mustOpen(t, Options{Budget: 0})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 100)
+	st := s.Stats()
+	if st.Spills != 0 {
+		t.Fatalf("unbounded store spilled: %+v", st)
+	}
+	if st.ResidentBytes != tbl.Bytes() {
+		t.Fatalf("accounting mismatch: store %d, table %d", st.ResidentBytes, tbl.Bytes())
+	}
+}
+
+func TestSpillWriteFailureFailsOpen(t *testing.T) {
+	perTuple := state.TupleBytes(base(0, 1, 1))
+	// Let the store set itself up, then cut the disk.
+	crash := storage.NewCrashFS(storage.NewMemFS(), 1<<20)
+	s := mustOpen(t, Options{Budget: 2 * perTuple, FS: crash})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 4)
+	// Exhaust the write budget.
+	for crash.Crashed() == false {
+		p := make([]byte, 1<<16)
+		f, err := crash.Create("burn")
+		if err != nil {
+			break
+		}
+		f.Write(p)
+		f.Close()
+	}
+	// Inserts keep working; buckets stay resident; errors are counted.
+	for i := 100; i < 120; i++ {
+		tbl.Insert(base(0, uint64(i+1), tuple.Value(i)))
+	}
+	st := s.Stats()
+	if st.SpillErrors == 0 {
+		t.Fatalf("expected spill errors, got %+v", st)
+	}
+	if tbl.Size() != 24 {
+		t.Fatalf("size = %d, want 24", tbl.Size())
+	}
+	for i := 100; i < 120; i++ {
+		if len(tbl.Probe(tuple.Value(i))) != 1 {
+			t.Fatalf("key %d lost after write failure", i)
+		}
+	}
+}
+
+func TestReleaseForgetsTable(t *testing.T) {
+	s := mustOpen(t, Options{Budget: 1})
+	a := state.NewTable(tuple.NewStreamSet(0))
+	a.SetBackend(s, true)
+	b := state.NewTable(tuple.NewStreamSet(1))
+	b.SetBackend(s, true)
+	fill(a, 10)
+	for i := 0; i < 10; i++ {
+		b.Insert(base(1, uint64(i+1), tuple.Value(i)))
+	}
+	a.Release()
+	st := s.Stats()
+	if st.ResidentBytes != b.Bytes() {
+		t.Fatalf("release did not drop a's accounting: store %d, b %d", st.ResidentBytes, b.Bytes())
+	}
+	// b is untouched.
+	for i := 0; i < 10; i++ {
+		if len(b.Probe(tuple.Value(i))) != 1 {
+			t.Fatalf("b key %d lost", i)
+		}
+	}
+}
+
+func TestListAccounting(t *testing.T) {
+	s := mustOpen(t, Options{Budget: 0})
+	l := state.NewList(tuple.NewStreamSet(0))
+	l.SetBackend(s)
+	var want int64
+	for i := 0; i < 10; i++ {
+		tup := base(0, uint64(i+1), tuple.Value(i))
+		want += state.TupleBytes(tup)
+		l.Insert(tup)
+	}
+	if l.Bytes() != want || s.Stats().ResidentBytes != want {
+		t.Fatalf("list bytes %d, store %d, want %d", l.Bytes(), s.Stats().ResidentBytes, want)
+	}
+	removed := l.RemoveRef(tuple.Ref{Stream: 0, Seq: 1})
+	if len(removed) != 1 {
+		t.Fatalf("removed %d", len(removed))
+	}
+	want -= state.TupleBytes(removed[0])
+	if l.Bytes() != want || s.Stats().ResidentBytes != want {
+		t.Fatalf("after remove: list %d, store %d, want %d", l.Bytes(), s.Stats().ResidentBytes, want)
+	}
+	l.Clear()
+	if l.Bytes() != 0 || s.Stats().ResidentBytes != 0 {
+		t.Fatalf("after clear: list %d, store %d", l.Bytes(), s.Stats().ResidentBytes)
+	}
+}
+
+// TestRealFS exercises the ReaderAt read path against the actual
+// filesystem (every other test runs on MemFS).
+func TestRealFS(t *testing.T) {
+	perTuple := state.TupleBytes(base(0, 1, 1))
+	s := mustOpen(t, Options{Budget: 2 * perTuple, Dir: t.TempDir() + "/spill"})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 32)
+	for i := 0; i < 32; i++ {
+		got := tbl.Probe(tuple.Value(i))
+		if len(got) != 1 || got[0].Refs[0].Seq != uint64(i+1) {
+			t.Fatalf("key %d: %v", i, got)
+		}
+	}
+	if s.Stats().Faults == 0 {
+		t.Fatal("expected faults on real fs")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	s := mustOpen(t, Options{Budget: 1, SegmentBytes: 256, MinCompactBytes: 1 << 30})
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	tbl.SetBackend(s, true)
+	fill(tbl, 64)
+	if got := s.Stats().Segments; got < 2 {
+		t.Fatalf("segments = %d, want rotation past 1", got)
+	}
+	// All buckets readable across segments.
+	for i := 0; i < 64; i++ {
+		if len(tbl.Probe(tuple.Value(i))) != 1 {
+			t.Fatalf("key %d unreadable", i)
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{ResidentBytes: 1, Faults: 2, Spills: 3}
+	b := Stats{ResidentBytes: 10, Faults: 20, Spills: 30}
+	c := a.Add(b)
+	if c.ResidentBytes != 11 || c.Faults != 22 || c.Spills != 33 {
+		t.Fatalf("Add: %+v", c)
+	}
+}
+
+func TestStringerSmoke(t *testing.T) {
+	tbl := state.NewTable(tuple.NewStreamSet(0))
+	fill(tbl, 3)
+	if got := fmt.Sprint(tbl); got == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,63 @@
+// Package storage holds the low-level file primitives every
+// log-structured file in this repository is built on: the FS
+// abstraction (with its OS, in-memory, and crash-injecting
+// implementations) and the CRC-framed record discipline —
+// len:u32 | crc:u32 | payload, little endian, CRC32C over the payload.
+//
+// It is a leaf package by design: the durability layer (internal/
+// durable) and the tiered state store (internal/statestore) both build
+// on it, and durable itself depends on the engine for recovery — so
+// the shared primitives must live below both. durable re-exports the
+// names it historically owned as aliases.
+package storage
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// FrameHeader is the byte length of a frame's len+crc header.
+const FrameHeader = 8
+
+var (
+	le         = binary.LittleEndian
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// AppendFramed appends payload to dst as one self-delimiting frame.
+func AppendFramed(dst, payload []byte) []byte {
+	dst = le.AppendUint32(dst, uint32(len(payload)))
+	dst = le.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// SealFrame patches the FrameHeader bytes at start, treating
+// dst[start+FrameHeader:] as the frame's payload. Callers that build
+// the payload in place (reserving the header first) avoid the copy
+// AppendFramed would make.
+func SealFrame(dst []byte, start int) {
+	payload := dst[start+FrameHeader:]
+	le.PutUint32(dst[start:], uint32(len(payload)))
+	le.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+}
+
+// NextFrame validates the frame at the head of data and returns its
+// payload and total encoded length. ok is false when data starts with
+// a torn or corrupted frame (short header, implausible length, short
+// payload, or CRC mismatch) — the caller should treat everything from
+// that offset on as an unreplayable tail. max bounds the accepted
+// payload length.
+func NextFrame(data []byte, max int) (payload []byte, n int, ok bool) {
+	if len(data) < FrameHeader {
+		return nil, 0, false
+	}
+	ln := int(le.Uint32(data))
+	if ln == 0 || ln > max || len(data)-FrameHeader < ln {
+		return nil, 0, false
+	}
+	payload = data[FrameHeader : FrameHeader+ln]
+	if crc32.Checksum(payload, castagnoli) != le.Uint32(data[4:]) {
+		return nil, 0, false
+	}
+	return payload, FrameHeader + ln, true
+}
