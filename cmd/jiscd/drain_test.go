@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// waitExit waits for the process to exit and returns its exit code,
+// failing the test if it does not die within the deadline.
+func waitExit(t *testing.T, proc *exec.Cmd, deadline time.Duration) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("wait: %v", err)
+	case <-time.After(deadline):
+		proc.Process.Kill()
+		t.Fatalf("jiscd did not exit within %v", deadline)
+	}
+	return -1
+}
+
+// TestJiscdSIGTERMDrainsCleanly is the rolling-restart contract end to
+// end: SIGTERM a durable daemon mid-hose; it must fence new work, flush
+// what it admitted, checkpoint, and exit 0 — and the restarted daemon
+// must hold every acknowledged tuple.
+func TestJiscdSIGTERMDrainsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildJiscd(t)
+	wal := filepath.Join(t.TempDir(), "wal")
+	args := []string{"-wal", wal, "-fsync", "always", "-plan", "0,1,2", "-window", "100", "-drain-timeout", "30s"}
+
+	proc, addr := startJiscd(t, bin, args...)
+
+	// Hose from two connections; count acknowledged tuples. Feeders
+	// stop at connection death or BUSY (the drain fence).
+	var acked atomic.Uint64
+	var wg sync.WaitGroup
+	hoseUp := make(chan struct{})
+	var once sync.Once
+	for f := 0; f < 2; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			r := bufio.NewReader(conn)
+			for i := 0; ; i++ {
+				if i == 20 {
+					once.Do(func() { close(hoseUp) })
+				}
+				if _, err := fmt.Fprintf(conn, "FEEDB %d %d %d\n", i%3, i%7, (i+1)%7); err != nil {
+					return
+				}
+				resp, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				if strings.TrimSpace(resp) == "OK" {
+					acked.Add(2)
+				} else {
+					return
+				}
+			}
+		}(f)
+	}
+	<-hoseUp
+
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := waitExit(t, proc, 30*time.Second); code != 0 {
+		t.Fatalf("SIGTERM exit code = %d, want 0", code)
+	}
+	wg.Wait()
+
+	// The replacement process: everything acknowledged must be there,
+	// restored from the final checkpoint (WAL empty → zero replayed).
+	_, addr2 := startJiscd(t, bin, args...)
+	c := dialDaemon(t, addr2)
+	stats := c.cmd(t, "STATS")
+	input, err := strconv.ParseUint(statOf(t, stats, "input"), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if input < acked.Load() {
+		t.Fatalf("restarted input = %d < %d acked (drain lost admitted batches)", input, acked.Load())
+	}
+	if got := statOf(t, stats, "recovered_events"); got != "0" {
+		t.Fatalf("recovered_events = %s, want 0 (the drain must take a final checkpoint)", got)
+	}
+	if resp := c.cmd(t, "FEED 0 1"); resp != "OK" {
+		t.Fatalf("replacement daemon not serving: %s", resp)
+	}
+}
+
+// TestJiscdSIGINTStillFast: SIGINT keeps the legacy behaviour — an
+// immediate close, no drain.
+func TestJiscdSIGINTStillFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildJiscd(t)
+	proc, _ := startJiscd(t, bin)
+	if err := proc.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if code := waitExit(t, proc, 10*time.Second); code != 0 {
+		t.Fatalf("SIGINT exit code = %d, want 0", code)
+	}
+}
+
+// TestJiscdRejectsFeedDeadlineWithWAL: the deadline×durability
+// combination must die at flag parsing, with the reason in the error.
+func TestJiscdRejectsFeedDeadlineWithWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildJiscd(t)
+	cmd := exec.Command(bin, "-wal", t.TempDir(), "-feed-deadline", "10ms")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("jiscd accepted -feed-deadline with -wal:\n%s", out)
+	}
+	if !strings.Contains(string(out), "resurrect") {
+		t.Fatalf("unhelpful error:\n%s", out)
+	}
+}
+
+// TestJiscdAdmissionFlags: the admission flags reach the serving path —
+// an over-rate hose sheds counted, and the connection cap turns extra
+// dials away with a BUSY.
+func TestJiscdAdmissionFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildJiscd(t)
+	_, addr := startJiscd(t, bin, "-ingest-rate", "50", "-ingest-burst", "50", "-max-conns", "2")
+
+	c := dialDaemon(t, addr)
+	for i := 0; i < 200; i++ {
+		if resp := c.cmd(t, fmt.Sprintf("FEED %d %d", i%3, i%7)); resp != "OK" {
+			t.Fatalf("feed %d: %s", i, resp)
+		}
+	}
+	stats := c.cmd(t, "STATS")
+	input, _ := strconv.ParseUint(statOf(t, stats, "input"), 10, 64)
+	shed, _ := strconv.ParseUint(statOf(t, stats, "admission_shed"), 10, 64)
+	if input+shed != 200 {
+		t.Fatalf("conservation: input %d + admission_shed %d != 200", input, shed)
+	}
+	if shed == 0 {
+		t.Fatal("nothing shed at 4x the rate")
+	}
+
+	// Conn 2 fits the cap; conn 3 draws BUSY.
+	c2 := dialDaemon(t, addr)
+	if resp := c2.cmd(t, "FEED 0 1"); resp != "OK" {
+		t.Fatalf("conn 2: %s", resp)
+	}
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	conn3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn3).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "ERR BUSY too many connections") {
+		t.Fatalf("over-cap dial greeted with %q", line)
+	}
+}

@@ -39,8 +39,10 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"jisc/internal/adaptive"
+	"jisc/internal/admission"
 	"jisc/internal/core"
 	"jisc/internal/durable"
 	"jisc/internal/engine"
@@ -78,6 +80,29 @@ func parseStateBudget(s string) (int64, error) {
 	return n * mult, nil
 }
 
+// parseInflightBudget parses -inflight-budget: "" → 0 (unlimited),
+// otherwise a positive byte count with an optional k/m/g suffix.
+func parseInflightBudget(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad -inflight-budget %q: want a positive byte count with optional k/m/g suffix", s)
+	}
+	return n * mult, nil
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7878", "listen address")
@@ -98,6 +123,15 @@ func main() {
 		auto      = flag.Bool("auto", false, "start the autopilot on the default query: watch live selectivities and migrate the plan automatically (toggle per query at runtime with AUTO ON/OFF)")
 		autoIvl   = flag.Duration("auto-interval", 0, "autopilot control-loop period (0 = default 500ms)")
 		autoCool  = flag.Duration("auto-cooldown", 0, "minimum pause between autopilot migrations (0 = default 5s)")
+
+		maxConns     = flag.Int("max-conns", 0, "max concurrent client connections; dials beyond the cap draw a retriable ERR BUSY (0 = unlimited)")
+		ingestRate   = flag.Float64("ingest-rate", 0, "sustained ingest admission rate in tuples/sec per query; arrivals beyond it are shed counted and acknowledged OK (0 = unlimited)")
+		ingestBurst  = flag.Float64("ingest-burst", 0, "token-bucket burst above -ingest-rate, in tuples (0 = one second of -ingest-rate)")
+		inflight     = flag.String("inflight-budget", "", "admitted-but-unprocessed ingest byte budget per query, e.g. 8m (suffix k/m/g); batches beyond it draw a retriable ERR BUSY; empty = unlimited")
+		feedDeadline = flag.Duration("feed-deadline", 0, "per-batch queue deadline: an admitted batch still queued after this long is dropped counted instead of processed late (0 = off; incompatible with -wal)")
+		readTimeout  = flag.Duration("read-timeout", 0, "per-command read deadline, armed once a line starts arriving; idle connections are never timed out (0 = off)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-write deadline on acks and subscriber result lines; a timed-out write closes the connection (0 = off)")
+		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM graceful-drain bound: how long to wait for in-flight batches to flush before giving up and exiting non-zero (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -129,11 +163,18 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	inflightBudget, err := parseInflightBudget(*inflight)
+	if err != nil {
+		die(err)
+	}
 
 	var dur durable.Options
 	if *walDir != "" {
 		if *shedding {
 			die(fmt.Errorf("-shed cannot be combined with -wal: a shed tuple would be logged but dropped, so replay would resurrect it"))
+		}
+		if *feedDeadline > 0 {
+			die(fmt.Errorf("-feed-deadline cannot be combined with -wal: a deadline-shed batch would already be logged, so replay would resurrect it"))
 		}
 		policy, err := durable.ParsePolicy(*fsyncMode)
 		if err != nil {
@@ -167,6 +208,15 @@ func main() {
 			Cooldown: *autoCool,
 		},
 		AutoStart: *auto,
+		Admission: admission.Config{
+			MaxConns:      *maxConns,
+			Rate:          *ingestRate,
+			Burst:         *ingestBurst,
+			InflightBytes: inflightBudget,
+			FeedDeadline:  *feedDeadline,
+		},
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
 	})
 	if err != nil {
 		die(err)
@@ -192,9 +242,21 @@ func main() {
 	fmt.Printf("jiscd: serving %s on %s (strategy %s, window %d, shards %d%s)\n",
 		p, srv.Addr(), *strat, *window, *shards, autopilot)
 
-	sig := make(chan os.Signal, 1)
+	// SIGTERM is the rolling-restart signal: stop accepting, fence new
+	// work behind BUSY, flush everything admitted, checkpoint (when
+	// durable), and exit 0 — the supervisor's replacement loses
+	// nothing. SIGINT stays the fast path: close immediately.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	if got := <-sig; got == syscall.SIGTERM {
+		fmt.Println("jiscd: draining (SIGTERM)")
+		if err := srv.Drain(*drainTO); err != nil {
+			fmt.Fprintf(os.Stderr, "jiscd: drain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("jiscd: drained cleanly")
+		return
+	}
 	fmt.Println("jiscd: shutting down")
 	srv.Close()
 }

@@ -1,0 +1,178 @@
+// Command jischaos is the chaos-test sidekick for jiscd: a
+// fault-injecting TCP proxy and a measuring load generator in one
+// binary, used by scripts/overload_smoke.sh and by hand when poking a
+// deployment.
+//
+// Proxy mode — put a misbehaving network in front of a server:
+//
+//	jischaos proxy -listen 127.0.0.1:7979 -target 127.0.0.1:7878 \
+//	    -latency 2ms -jitter 3ms -bps 262144 -reset-prob 0.001
+//
+// Hose mode — blast FEEDB batches at a server and account every line:
+//
+//	jischaos hose -addr 127.0.0.1:7979 -tuples 100000 -batch 50 -rate 4000
+//
+// The hose prints one machine-readable summary line on exit:
+//
+//	HOSE sent=<tuples> ok=<tuples> busy=<tuples> dead=<tuples>
+//
+// sent = every tuple put on the wire; ok = tuples on lines the server
+// acknowledged OK; busy = tuples refused with ERR BUSY (retriable);
+// dead = tuples on lines whose response never arrived (connection
+// died). sent == ok + busy + dead always; the smoke script combines
+// these with the server's STATS counters for the conservation check.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"jisc/internal/chaosnet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		die(fmt.Errorf("usage: jischaos proxy|hose [flags]"))
+	}
+	switch os.Args[1] {
+	case "proxy":
+		proxyMain(os.Args[2:])
+	case "hose":
+		hoseMain(os.Args[2:])
+	default:
+		die(fmt.Errorf("unknown mode %q: want proxy or hose", os.Args[1]))
+	}
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "jischaos: %v\n", err)
+	os.Exit(1)
+}
+
+func proxyMain(args []string) {
+	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
+	var (
+		listen     = fs.String("listen", "127.0.0.1:7979", "proxy listen address")
+		target     = fs.String("target", "127.0.0.1:7878", "upstream server address")
+		seed       = fs.Int64("seed", 1, "seed for jitter and reset decisions")
+		latency    = fs.Duration("latency", 0, "fixed one-way latency per chunk")
+		jitter     = fs.Duration("jitter", 0, "uniform random extra latency")
+		bps        = fs.Int64("bps", 0, "bandwidth cap per direction in bytes/sec (0 = uncapped)")
+		chunk      = fs.Int("chunk", 0, "forwarding chunk size in bytes (0 = 1024)")
+		resetAfter = fs.Int64("reset-after", 0, "hard-reset a conn after this many ingest bytes (0 = off)")
+		resetProb  = fs.Float64("reset-prob", 0, "per-chunk reset probability in [0,1]")
+		stallAfter = fs.Int64("stall-after", 0, "half-open a conn after this many ingest bytes (0 = off)")
+	)
+	fs.Parse(args)
+
+	p, err := chaosnet.New(*listen, *target, chaosnet.Config{
+		Seed:            *seed,
+		Latency:         *latency,
+		Jitter:          *jitter,
+		BytesPerSec:     *bps,
+		ChunkBytes:      *chunk,
+		ResetAfterBytes: *resetAfter,
+		ResetProb:       *resetProb,
+		StallAfterBytes: *stallAfter,
+	})
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("jischaos: proxying %s -> %s\n", p.Addr(), *target)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	s := p.Stats()
+	p.Close()
+	fmt.Printf("PROXY conns=%d resets=%d stalls=%d to_server=%d to_client=%d partition_drops=%d\n",
+		s.Conns, s.Resets, s.Stalls, s.BytesToServer, s.BytesToClient, s.PartitionDrops)
+}
+
+func hoseMain(args []string) {
+	fs := flag.NewFlagSet("hose", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7878", "server (or proxy) address")
+		tuples  = fs.Int("tuples", 100_000, "total tuples to send")
+		batch   = fs.Int("batch", 50, "tuples per FEEDB line")
+		rate    = fs.Float64("rate", 0, "target send rate in tuples/sec (0 = as fast as possible)")
+		streams = fs.Int("streams", 3, "stream count to cycle keys over")
+		domain  = fs.Int("domain", 8, "key domain size")
+		timeout = fs.Duration("timeout", 60*time.Second, "overall wall-clock budget")
+	)
+	fs.Parse(args)
+	if *batch < 1 || *tuples < 1 || *streams < 1 || *domain < 1 {
+		die(fmt.Errorf("batch, tuples, streams, and domain must be positive"))
+	}
+
+	var sent, ok, busy, dead int
+	deadline := time.Now().Add(*timeout)
+	start := time.Now()
+
+	// One connection at a time; on connection death reconnect and keep
+	// hosing until the tuple budget is spent. A server that is down
+	// (drained, restarting) burns wall clock, not the accounting.
+	for sent < *tuples && time.Now().Before(deadline) {
+		conn, err := net.Dial("tcp", *addr)
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		conn.SetDeadline(deadline)
+		r := bufio.NewReader(conn)
+		for sent < *tuples {
+			n := *batch
+			if rem := *tuples - sent; rem < n {
+				n = rem
+			}
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "FEEDB %d", sent%*streams)
+			for j := 0; j < n; j++ {
+				fmt.Fprintf(&sb, " %d", (sent+j)%*domain)
+			}
+			sb.WriteByte('\n')
+			if _, err := conn.Write([]byte(sb.String())); err != nil {
+				sent += n
+				dead += n
+				break
+			}
+			sent += n
+			resp, err := r.ReadString('\n')
+			if err != nil {
+				dead += n
+				break
+			}
+			switch {
+			case strings.TrimSpace(resp) == "OK":
+				ok += n
+			case strings.HasPrefix(resp, "ERR BUSY"):
+				busy += n
+			default:
+				// A non-BUSY error is a hose bug (malformed line) —
+				// surface it loudly rather than folding it into a
+				// counter the conservation check would hide it in.
+				die(fmt.Errorf("server said %q to a FEEDB line", strings.TrimSpace(resp)))
+			}
+			if *rate > 0 {
+				// Pace against the global schedule so transient stalls
+				// are caught up rather than compounded.
+				ahead := time.Duration(float64(sent)/(*rate)*float64(time.Second)) - time.Since(start)
+				if ahead > 0 {
+					time.Sleep(ahead)
+				}
+			}
+		}
+		conn.Close()
+	}
+
+	fmt.Printf("HOSE sent=%d ok=%d busy=%d dead=%d\n", sent, ok, busy, dead)
+	if sent < *tuples {
+		die(fmt.Errorf("budget exhausted: sent %d of %d tuples in %v", sent, *tuples, *timeout))
+	}
+}

@@ -150,6 +150,7 @@ type Controller struct {
 	anchor     obs.HistSnapshot
 	anchorAt   time.Time
 
+	paused    atomic.Bool
 	started   atomic.Bool
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -266,6 +267,21 @@ func (c *Controller) Stop() {
 // Running reports whether the background loop is active.
 func (c *Controller) Running() bool { return c.started.Load() }
 
+// Pause suspends decision-making without stopping the background loop:
+// Step returns immediately while paused, so no migration can start.
+// The server pauses autopilots during a graceful drain — a plan
+// transition racing the drain barrier would re-lengthen the queues the
+// drain is emptying. Unlike Stop, Pause is reversible and does not
+// join the loop goroutine, so it is safe from any context.
+func (c *Controller) Pause() { c.paused.Store(true) }
+
+// Resume lifts a Pause. Confirmation streaks and cooldowns resume
+// where they left off.
+func (c *Controller) Resume() { c.paused.Store(false) }
+
+// Paused reports whether decision-making is suspended.
+func (c *Controller) Paused() bool { return c.paused.Load() }
+
 func (c *Controller) now() time.Time {
 	if c.cfg.Now != nil {
 		return c.cfg.Now()
@@ -301,6 +317,9 @@ func (c *Controller) LastMigration() time.Time {
 // given the target's statistics, so the simulation harness drives it
 // with a logical clock between flush barriers.
 func (c *Controller) Step(now time.Time) {
+	if c.paused.Load() {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 

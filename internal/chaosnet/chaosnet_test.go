@@ -1,0 +1,235 @@
+package chaosnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back, until its
+// listener closes.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// checkGoroutines fails the test if the goroutine count has not
+// settled back to the baseline it captures at call time.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		for i := 0; i < 50; i++ {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked: %d > baseline %d\n%s",
+			runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+	})
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	checkGoroutines(t)
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	for i := 0; i < 50; i++ {
+		line := fmt.Sprintf("hello %d", i)
+		fmt.Fprintf(c, "%s\n", line)
+		got, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if strings.TrimSpace(got) != line {
+			t.Fatalf("echo %q, want %q", got, line)
+		}
+	}
+	s := p.Stats()
+	if s.Conns != 1 || s.BytesToServer == 0 || s.BytesToClient == 0 {
+		t.Fatalf("stats after clean echo: %+v", s)
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	checkGoroutines(t)
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 2, ResetAfterBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	// Keep writing until the proxy pulls the plug; the client must see
+	// an error (reset or closed pipe), never hang.
+	var failed bool
+	for i := 0; i < 10_000; i++ {
+		if _, err := fmt.Fprintf(c, "x line %d padding padding padding\n", i); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		// The write side may succeed into OS buffers; the read side
+		// must still observe the death.
+		buf := make([]byte, 1)
+		if _, err := c.Read(buf); err == nil {
+			t.Fatal("connection survived past the reset threshold")
+		}
+	}
+	if got := p.Stats().Resets; got != 1 {
+		t.Fatalf("Resets = %d, want 1", got)
+	}
+}
+
+func TestStallHalfOpens(t *testing.T) {
+	checkGoroutines(t)
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 3, StallAfterBytes: 32, ChunkBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "0123456789012345678901234567890123456789\n") // past the threshold
+	// The connection is now half-open: reads see silence, not EOF.
+	c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	buf := make([]byte, 64)
+	if _, err := c.Read(buf); err == nil {
+		// The first chunk(s) may echo before the stall lands; a second
+		// read must then block.
+		c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		if _, err := c.Read(buf); err == nil {
+			t.Fatal("stalled connection still delivering")
+		}
+	}
+	ne, ok := err.(net.Error)
+	if err != nil && (!ok || !ne.Timeout()) {
+		t.Fatalf("stalled read: %v, want timeout (half-open, not closed)", err)
+	}
+	if got := p.Stats().Stalls; got != 1 {
+		t.Fatalf("Stalls = %d, want 1", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	checkGoroutines(t)
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	fmt.Fprintf(c, "before\n")
+	if _, err := r.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetPartitioned(true)
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("read succeeded across a partition")
+	}
+	// New dials during the partition die immediately.
+	c2, err := net.Dial("tcp", p.Addr().String())
+	if err == nil {
+		c2.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c2.Read(make([]byte, 1)); err == nil {
+			t.Fatal("new connection alive across a partition")
+		}
+		c2.Close()
+	}
+
+	// Healing restores service for fresh connections.
+	p.SetPartitioned(false)
+	c3, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	c3.SetDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(c3, "after\n")
+	got, err := bufio.NewReader(c3).ReadString('\n')
+	if err != nil || strings.TrimSpace(got) != "after" {
+		t.Fatalf("post-heal echo = %q, %v", got, err)
+	}
+}
+
+func TestLatencySlowsEcho(t *testing.T) {
+	checkGoroutines(t)
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 5, Latency: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	fmt.Fprintf(c, "ping\n")
+	if _, err := bufio.NewReader(c).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	// One chunk each way: at least 2× the one-way latency.
+	if rtt := time.Since(start); rtt < 60*time.Millisecond {
+		t.Fatalf("round trip %v under a 30ms one-way latency", rtt)
+	}
+}

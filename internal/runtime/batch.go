@@ -17,6 +17,7 @@ package runtime
 import (
 	"sync"
 
+	"jisc/internal/admission"
 	"jisc/internal/durable"
 	"jisc/internal/workload"
 )
@@ -65,22 +66,34 @@ func (r *Runner) FeedBatch(evs []workload.Event) error {
 // feedBatchOwned enqueues a staging slice the runner now owns: it is
 // recycled by the worker after processing, or here on shed/error.
 func (r *Runner) feedBatchOwned(b *[]workload.Event) error {
+	return r.feedBatchOwnedAdmitted(b, 0, 0)
+}
+
+// feedBatchOwnedAdmitted is feedBatchOwned carrying admission
+// metadata: the cost reservation transfers to the worker on a
+// successful enqueue and is released here on queue shed or a closed
+// runner — exactly-once release on every path.
+func (r *Runner) feedBatchOwnedAdmitted(b *[]workload.Event, deadlineNS, cost int64) error {
+	m := message{kind: msgFeedBatch, batch: b, deadlineNS: deadlineNS, cost: cost}
 	if r.overflow == Shed {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		if r.closed {
+			r.adm.Release(cost)
 			putBatch(b)
 			return ErrClosed
 		}
 		select {
-		case r.in <- message{kind: msgFeedBatch, batch: b}:
+		case r.in <- m:
 		default:
 			r.shed.Add(uint64(len(*b)))
+			r.adm.Release(cost)
 			putBatch(b)
 		}
 		return nil
 	}
-	if err := r.send(message{kind: msgFeedBatch, batch: b}); err != nil {
+	if err := r.send(m); err != nil {
+		r.adm.Release(cost)
 		putBatch(b)
 		return err
 	}
@@ -107,14 +120,24 @@ func (rt *Runtime) FeedBatch(evs []workload.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
+	// One admission decision per batch, before scatter and WAL: a shed
+	// batch returns nil with every tuple counted, a rejected batch
+	// returns BUSY with nothing delivered anywhere. The reservation is
+	// split across sub-batches by tuple count (shares sum exactly to
+	// the admitted total), so each shard worker releases its own part.
+	deadlineNS, _, ok, admErr := rt.admit(len(evs))
+	if !ok {
+		return admErr
+	}
 	n := len(rt.shards)
 	if n == 1 {
 		b := getBatch()
 		*b = append((*b)[:0], evs...)
+		cost := batchCost(rt.adm, len(evs))
 		if rt.dur != nil {
-			return rt.feedBatchDurableOwned(0, b)
+			return rt.feedBatchDurableOwned(0, b, cost)
 		}
-		return rt.shards[0].feedBatchOwned(b)
+		return rt.shards[0].feedBatchOwnedAdmitted(b, deadlineNS, cost)
 	}
 	sc := scatterPool.Get().(*scatter)
 	if cap(sc.bufs) < n {
@@ -137,15 +160,17 @@ func (rt *Runtime) FeedBatch(evs []workload.Event) error {
 			continue
 		}
 		bufs[i] = nil
+		cost := batchCost(rt.adm, len(*b))
 		if firstErr != nil {
-			putBatch(b) // an earlier shard failed; don't deliver a gap
+			rt.adm.Release(cost) // an earlier shard failed; don't deliver a gap
+			putBatch(b)
 			continue
 		}
 		var err error
 		if rt.dur != nil {
-			err = rt.feedBatchDurableOwned(i, b)
+			err = rt.feedBatchDurableOwned(i, b, cost)
 		} else {
-			err = rt.shards[i].feedBatchOwned(b)
+			err = rt.shards[i].feedBatchOwnedAdmitted(b, deadlineNS, cost)
 		}
 		if err != nil {
 			firstErr = err
@@ -155,10 +180,22 @@ func (rt *Runtime) FeedBatch(evs []workload.Event) error {
 	return firstErr
 }
 
+// batchCost is the admission byte reservation a sub-batch of n tuples
+// carries — zero when admission is off, so messages on the default
+// path stay all-zero.
+func batchCost(adm *admission.Controller, n int) int64 {
+	if adm == nil {
+		return 0
+	}
+	return int64(n) * EventBytes
+}
+
 // feedBatchDurableOwned logs one FEEDB record then enqueues the
 // sub-batch under shard i's log mutex — the batch-granular analogue of
-// feedDurable.
-func (rt *Runtime) feedBatchDurableOwned(i int, b *[]workload.Event) error {
+// feedDurable. cost is the sub-batch's admission reservation (released
+// here on a log error, by the worker otherwise); deadlines never reach
+// the durable path.
+func (rt *Runtime) feedBatchDurableOwned(i int, b *[]workload.Event, cost int64) error {
 	d := rt.dur[i]
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -171,10 +208,11 @@ func (rt *Runtime) feedBatchDurableOwned(i int, b *[]workload.Event) error {
 			chunk = chunk[:durable.MaxBatchEvents]
 		}
 		if _, err := d.log.AppendFeedBatch(chunk); err != nil {
+			rt.adm.Release(cost)
 			putBatch(b)
 			return err
 		}
 		evs = evs[len(chunk):]
 	}
-	return rt.shards[i].feedBatchOwned(b)
+	return rt.shards[i].feedBatchOwnedAdmitted(b, 0, cost)
 }

@@ -125,14 +125,18 @@ func (rt *Runtime) recoverDurable(cfg Config, shards int) error {
 }
 
 // feedDurable logs then enqueues one tuple under shard i's log mutex.
-func (rt *Runtime) feedDurable(i int, ev workload.Event) error {
+// cost is the tuple's admission reservation (0 when admission is off);
+// a feed deadline never reaches this path (admission rejects the
+// combination at New), so the enqueued message carries no deadline.
+func (rt *Runtime) feedDurable(i int, ev workload.Event, cost int64) error {
 	d := rt.dur[i]
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, err := d.log.AppendFeed(ev.Stream, ev.Key); err != nil {
+		rt.adm.Release(cost)
 		return err
 	}
-	return rt.shards[i].Feed(ev)
+	return rt.shards[i].feedAdmitted(ev, 0, cost)
 }
 
 // migrateDurable logs a MIGRATE record and enqueues the transition

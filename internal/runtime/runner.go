@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"jisc/internal/adaptive"
+	"jisc/internal/admission"
 	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
@@ -60,6 +61,14 @@ type message struct {
 	ckptW   io.Writer
 	scanCh  chan []engine.ScanStats
 	bytesCh chan int64
+
+	// Admission metadata on msgFeed/msgFeedBatch, zero without an
+	// admission controller: deadlineNS is the unix-nano point after
+	// which the worker sheds the tuples instead of processing them
+	// late; cost is the in-flight byte reservation the worker releases
+	// once the message leaves the queue (processed or shed).
+	deadlineNS int64
+	cost       int64
 }
 
 // Runner executes one continuous query on a dedicated worker
@@ -69,6 +78,7 @@ type Runner struct {
 	worker   sync.WaitGroup
 	overflow Overflow
 	shed     atomic.Uint64
+	adm      *admission.Controller // nil = admit everything
 
 	mu     sync.Mutex
 	closed bool
@@ -125,6 +135,15 @@ type Config struct {
 	// and Close stops it first). Its Tracer/Query default from Obs.
 	// Ignored by NewRunner; see also Runtime.StartAuto.
 	Adaptive *adaptive.Config
+	// Admission, when non-nil, puts the controller's degradation
+	// ladder in front of Feed/FeedBatch: rate-limited traffic is shed
+	// counted, traffic beyond the in-flight byte budget is rejected
+	// with a retriable BUSY error, and (with FeedDeadline set) workers
+	// shed admitted batches whose deadline passed before dequeue. One
+	// controller spans all shards of a Runtime. A FeedDeadline is
+	// incompatible with Durability: a logged batch must replay, and a
+	// deadline drop at dequeue would diverge from that replay.
+	Admission *admission.Controller
 }
 
 // NewRunner builds and starts a single-shard Runner. The Shards field
@@ -158,6 +177,7 @@ func newRunnerWith(eng *engine.Engine, cfg Config) *Runner {
 	r := &Runner{
 		in:       make(chan message, cfg.QueueSize),
 		overflow: cfg.Overflow,
+		adm:      cfg.Admission,
 		eng:      eng,
 	}
 	r.worker.Add(1)
@@ -179,9 +199,24 @@ func (r *Runner) loop() {
 	for msg := range r.in {
 		switch msg.kind {
 		case msgFeed:
-			r.eng.Feed(msg.ev)
+			// Deadline check at dequeue: a tuple that waited past its
+			// admission deadline is dropped counted rather than
+			// processed late — the paper's load-shed escape hatch,
+			// applied at the moment lateness is known. The budget
+			// reservation is returned either way.
+			if r.adm.DeadlineExpired(msg.deadlineNS) {
+				r.adm.CountDeadlineShed(1)
+			} else {
+				r.eng.Feed(msg.ev)
+			}
+			r.adm.Release(msg.cost)
 		case msgFeedBatch:
-			r.eng.FeedBatch(*msg.batch)
+			if r.adm.DeadlineExpired(msg.deadlineNS) {
+				r.adm.CountDeadlineShed(len(*msg.batch))
+			} else {
+				r.eng.FeedBatch(*msg.batch)
+			}
+			r.adm.Release(msg.cost)
 			putBatch(msg.batch)
 		case msgMigrate:
 			// Every tuple enqueued before this control message has
@@ -222,20 +257,35 @@ func (r *Runner) send(m message) error {
 // input queue is full; under Shed it drops the tuple instead (counted
 // by Shed). Returns ErrClosed after Close.
 func (r *Runner) Feed(ev workload.Event) error {
+	return r.feedAdmitted(ev, 0, 0)
+}
+
+// feedAdmitted enqueues one admitted tuple with its admission
+// metadata. The cost reservation transfers to the worker on a
+// successful enqueue and is released here on every other outcome
+// (queue shed, closed runner) — exactly-once release either way.
+func (r *Runner) feedAdmitted(ev workload.Event, deadlineNS, cost int64) error {
+	m := message{kind: msgFeed, ev: ev, deadlineNS: deadlineNS, cost: cost}
 	if r.overflow == Shed {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		if r.closed {
+			r.adm.Release(cost)
 			return ErrClosed
 		}
 		select {
-		case r.in <- message{kind: msgFeed, ev: ev}:
+		case r.in <- m:
 		default:
 			r.shed.Add(1)
+			r.adm.Release(cost)
 		}
 		return nil
 	}
-	return r.send(message{kind: msgFeed, ev: ev})
+	if err := r.send(m); err != nil {
+		r.adm.Release(cost)
+		return err
+	}
+	return nil
 }
 
 // Shed returns the number of tuples dropped by the Shed overflow

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"jisc/internal/adaptive"
+	"jisc/internal/admission"
 	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/metrics"
@@ -37,6 +38,7 @@ import (
 type Runtime struct {
 	shards []*Runner
 	obs    *obs.Set
+	adm    *admission.Controller // nil = admit everything
 
 	outMu sync.Mutex
 
@@ -67,7 +69,10 @@ func New(cfg Config) (*Runtime, error) {
 	if shards < 0 {
 		return nil, fmt.Errorf("runtime: need at least 1 shard, got %d", shards)
 	}
-	rt := &Runtime{obs: cfg.Obs}
+	if err := validateAdmission(cfg); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{obs: cfg.Obs, adm: cfg.Admission}
 	userOut := cfg.Engine.Output
 	if userOut != nil && shards > 1 {
 		cfg.Engine.Output = func(d engine.Delta) {
@@ -279,15 +284,22 @@ func (rt *Runtime) route(ev workload.Event) int {
 	return ShardOf(ev.Key, len(rt.shards))
 }
 
-// Feed enqueues one tuple on its key's shard. With durability on, the
-// tuple is appended to that shard's write-ahead log first; it is not
-// enqueued (and Feed does not return nil) unless the append succeeded.
+// Feed enqueues one tuple on its key's shard, after the admission
+// ladder when admission is configured: a rate-shed tuple returns nil
+// (counted, never existed), a budget reject returns a retriable BUSY
+// error. With durability on, the tuple is appended to that shard's
+// write-ahead log first; it is not enqueued (and Feed does not return
+// nil) unless the append succeeded.
 func (rt *Runtime) Feed(ev workload.Event) error {
+	deadlineNS, cost, ok, err := rt.admit(1)
+	if !ok {
+		return err
+	}
 	i := rt.route(ev)
 	if rt.dur != nil {
-		return rt.feedDurable(i, ev)
+		return rt.feedDurable(i, ev, cost)
 	}
-	return rt.shards[i].Feed(ev)
+	return rt.shards[i].feedAdmitted(ev, deadlineNS, cost)
 }
 
 // Migrate transitions every shard to the new plan, in-band per shard.

@@ -3,10 +3,12 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"jisc/internal/plan"
 	"jisc/internal/tuple"
@@ -21,6 +23,40 @@ type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
+
+	// RetryBusy, when > 0, makes commands that draw a retriable
+	// "ERR BUSY ..." response (connection caps, in-flight budget,
+	// drain fence) retry up to that many additional times with
+	// jittered exponential backoff before surfacing the error.
+	// FeedBatch retries only the BUSY'd lines, not the whole batch.
+	// 0 (the default) surfaces BUSY immediately.
+	RetryBusy int
+	// RetryBase is the first backoff step (default 5ms); each retry
+	// doubles it, capped at 500ms, with full jitter in [d/2, d).
+	RetryBase time.Duration
+}
+
+// IsBusy reports whether err is a retriable server BUSY rejection
+// (overload or drain) rather than a hard protocol or transport error.
+func IsBusy(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "server: BUSY")
+}
+
+// backoff returns the jittered exponential delay for retry attempt n.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.RetryBase
+	if d <= 0 {
+		d = 5 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < 500*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	// Full jitter over the upper half: concurrent producers hitting
+	// the same BUSY wall spread out instead of retrying in lockstep.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // Dial connects to a jiscd server.
@@ -35,10 +71,21 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one command line and reads one response line.
+// roundTrip sends one command line and reads one response line,
+// retrying BUSY rejections per the client's retry policy.
 func (c *Client) roundTrip(line string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTripLocked(line)
+		if err == nil || !IsBusy(err) || attempt >= c.RetryBusy {
+			return resp, err
+		}
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+func (c *Client) roundTripLocked(line string) (string, error) {
 	if _, err := fmt.Fprintln(c.conn, line); err != nil {
 		return "", err
 	}
@@ -75,8 +122,34 @@ func (c *Client) feedBatch(name string, evs []workload.Event) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		retry, busyErr, hardErr, terr := c.feedBatchLocked(name, evs)
+		if terr != nil {
+			return terr // transport: the connection is gone
+		}
+		if hardErr != nil {
+			return hardErr // protocol error: retrying won't help
+		}
+		if len(retry) == 0 {
+			return nil
+		}
+		if attempt >= c.RetryBusy {
+			return busyErr
+		}
+		time.Sleep(c.backoff(attempt))
+		evs = retry
+	}
+}
+
+// feedBatchLocked writes one pipelined burst of FEEDB lines and drains
+// their acks. BUSY'd lines come back as retry (their events, in
+// order) with the first BUSY error; any non-BUSY ERR is hardErr; terr
+// is a transport failure. The connection stays in lockstep on every
+// non-transport outcome — all acks are drained even after an error.
+func (c *Client) feedBatchLocked(name string, evs []workload.Event) (retry []workload.Event, busyErr, hardErr, terr error) {
 	var sb strings.Builder
-	lines := 0
+	type span struct{ from, to int }
+	var spans []span
 	for i := 0; i < len(evs); {
 		j := i
 		for j < len(evs) && evs[j].Stream == evs[i].Stream && j-i < maxKeysPerLine {
@@ -88,30 +161,36 @@ func (c *Client) feedBatch(name string, evs []workload.Event) error {
 			sb.WriteByte(' ')
 		}
 		sb.WriteString(strconv.Itoa(int(evs[i].Stream)))
+		spans = append(spans, span{from: i, to: j})
 		for ; i < j; i++ {
 			sb.WriteByte(' ')
 			sb.WriteString(strconv.FormatInt(int64(evs[i].Key), 10))
 		}
 		sb.WriteByte('\n')
-		lines++
 	}
 	if _, err := c.conn.Write([]byte(sb.String())); err != nil {
-		return err
+		return nil, nil, nil, err
 	}
-	// Drain every ack even after an error so the connection stays in
-	// lockstep for the next command.
-	var firstErr error
-	for k := 0; k < lines; k++ {
+	for _, sp := range spans {
 		resp, err := c.r.ReadString('\n')
 		if err != nil {
-			return err
+			return nil, nil, nil, err
 		}
 		resp = strings.TrimSpace(resp)
-		if strings.HasPrefix(resp, "ERR ") && firstErr == nil {
-			firstErr = fmt.Errorf("server: %s", strings.TrimPrefix(resp, "ERR "))
+		if !strings.HasPrefix(resp, "ERR ") {
+			continue
+		}
+		rerr := fmt.Errorf("server: %s", strings.TrimPrefix(resp, "ERR "))
+		if IsBusy(rerr) {
+			if busyErr == nil {
+				busyErr = rerr
+			}
+			retry = append(retry, evs[sp.from:sp.to]...)
+		} else if hardErr == nil {
+			hardErr = rerr
 		}
 	}
-	return firstErr
+	return retry, busyErr, hardErr, nil
 }
 
 // Migrate transitions the server's query to a new plan.
@@ -156,6 +235,14 @@ type Stats struct {
 	// LastMigrationAgeMS is milliseconds since the autopilot last
 	// installed a plan (0 = never; the server reports ≥ 1 otherwise).
 	LastMigrationAgeMS uint64
+	// AdmissionShed counts tuples dropped by the ingest rate limiter
+	// (acknowledged OK); DeadlineShed counts admitted tuples dropped
+	// in queue past their feed deadline; Rejected/RejectedBatches
+	// count BUSY refusals. All zero when admission is off.
+	AdmissionShed, DeadlineShed, Rejected, RejectedBatches uint64
+	// InflightBytes is the admitted-but-unprocessed byte gauge;
+	// Draining is 1 while the server is gracefully draining.
+	InflightBytes, Draining uint64
 }
 
 // Stats fetches the default query's counters.
@@ -215,6 +302,18 @@ func parseStats(resp string) (Stats, error) {
 			s.AutoRollbacks = n
 		case "last_migration_age_ms":
 			s.LastMigrationAgeMS = n
+		case "admission_shed":
+			s.AdmissionShed = n
+		case "deadline_shed":
+			s.DeadlineShed = n
+		case "rejected":
+			s.Rejected = n
+		case "rejected_batches":
+			s.RejectedBatches = n
+		case "inflight_bytes":
+			s.InflightBytes = n
+		case "draining":
+			s.Draining = n
 		}
 	}
 	return s, nil

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"jisc/internal/workload"
+)
+
+// batchEvents generates n deterministic events over the 3-stream test
+// topology.
+func batchEvents(n int) []workload.Event {
+	src := workload.MustNewSource(workload.Config{Streams: 3, Domain: 8, Seed: 42})
+	return src.Take(n)
+}
+
+// noLeak captures the goroutine count and, at cleanup, fails the test
+// unless the count settles back to the baseline. Register it BEFORE
+// starting the server under test so the server's own teardown runs
+// first (cleanups execute in reverse order).
+func noLeak(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d live, baseline %d\n%s",
+			runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+	})
+}

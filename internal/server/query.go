@@ -8,11 +8,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"jisc/internal/admission"
 	"jisc/internal/durable"
 	"jisc/internal/engine"
 	"jisc/internal/obs"
 	"jisc/internal/pipeline"
 	"jisc/internal/runtime"
+	"jisc/internal/tuple"
 )
 
 // query is one named continuous query hosted by the server: a sharded
@@ -20,6 +22,11 @@ import (
 type query struct {
 	name   string
 	runner *runtime.Runtime
+	// adm is the query's admission controller (rate limit, in-flight
+	// budget, feed deadline, drain fence), nil when the server runs
+	// without admission limits. The runtime shares the same pointer;
+	// STATS and /metrics read its counters here.
+	adm *admission.Controller
 	// obs carries the query's latency histograms (one recorder per
 	// shard) and migration-lifecycle tracer; the telemetry endpoint
 	// and the STATS command read it.
@@ -29,6 +36,12 @@ type query struct {
 	// looks identical to a quiet query from the consumer side, so the
 	// server must account for it.
 	subsDropped atomic.Uint64
+	// streamMask has bit i set when stream i participates in the plan.
+	// The network boundary checks feeds against it: the engine treats
+	// an unknown stream as programmer error and panics, which a remote
+	// byte sequence must never be able to reach (MaxStreams is 64, so
+	// one word covers every legal id).
+	streamMask uint64
 
 	mu      sync.Mutex
 	subs    map[int]chan string
@@ -36,11 +49,29 @@ type query struct {
 	bufSize int
 }
 
-func newQuery(name string, cfg pipeline.Config, bufSize int) (*query, error) {
+func newQuery(name string, cfg pipeline.Config, bufSize int, admCfg admission.Config) (*query, error) {
 	q := &query{name: name, subs: make(map[int]chan string), bufSize: bufSize}
+	if cfg.Engine.Plan != nil {
+		for _, id := range cfg.Engine.Plan.Streams.Streams() {
+			q.streamMask |= 1 << id
+		}
+	}
 	q.obs = obs.NewSet(name, 0)
 	cfg.Obs = q.obs
 	cfg.Engine.Output = q.broadcast
+	// Each query gets its own controller from the server template:
+	// rate, budget, and deadline are per query (queries don't share a
+	// bucket), while the connection cap stays server-wide and is
+	// stripped here.
+	admCfg.MaxConns = 0
+	if admCfg.Enabled() {
+		ctrl, err := admission.New(admCfg)
+		if err != nil {
+			return nil, err
+		}
+		q.adm = ctrl
+		cfg.Admission = ctrl
+	}
 	if cfg.Engine.SpillDir != "" {
 		// The flag-level spill dir is shared by every hosted query;
 		// each query's runtime wipes its directory on open, so they
@@ -85,6 +116,12 @@ func (q *query) broadcast(d engine.Delta) {
 // dropped returns the number of subscribers disconnected for falling
 // behind.
 func (q *query) dropped() uint64 { return q.subsDropped.Load() }
+
+// hasStream reports whether stream id participates in this query's
+// plan; feeds for any other stream are protocol errors.
+func (q *query) hasStream(id tuple.StreamID) bool {
+	return q.streamMask&(1<<id) != 0
+}
 
 func (q *query) subscribe() (int, chan string) {
 	q.mu.Lock()

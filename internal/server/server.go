@@ -61,6 +61,20 @@
 //	                                            autopilot last installed
 //	                                            a plan (0 = never;
 //	                                            reported ≥ 1 otherwise)
+//	admission_shed                              tuples dropped by the
+//	                                            ingest rate limiter
+//	                                            (acknowledged OK)
+//	deadline_shed                               admitted tuples dropped
+//	                                            in queue past their
+//	                                            feed deadline
+//	rejected, rejected_batches                  tuples / batches refused
+//	                                            with ERR BUSY (in-flight
+//	                                            budget, or drain fence)
+//	inflight_bytes                              admitted-but-unprocessed
+//	                                            byte gauge (bounded by
+//	                                            the in-flight budget)
+//	draining                                    1 while a graceful drain
+//	                                            is in progress
 //
 // "AUTO STATUS [query]" answers with the same autopilot fields on one
 // "AUTO query=<name> ..." line.
@@ -94,6 +108,7 @@ import (
 	"time"
 
 	"jisc/internal/adaptive"
+	"jisc/internal/admission"
 	"jisc/internal/core"
 	"jisc/internal/durable"
 	"jisc/internal/pipeline"
@@ -133,6 +148,25 @@ type Config struct {
 	// startup (cmd/jiscd -auto). With durability on, the toggle is
 	// logged like an AUTO ON command.
 	AutoStart bool
+	// Admission configures overload control. MaxConns is server-wide
+	// (the accept loop refuses connections past the cap with "ERR BUSY
+	// too many connections"); Rate/Burst, InflightBytes, and
+	// FeedDeadline become a per-query controller each hosted query
+	// feeds through. The zero value disables every limit. A
+	// FeedDeadline cannot be combined with Durable (the runtime rejects
+	// the pair).
+	Admission admission.Config
+	// ReadTimeout bounds how long a started command line may take to
+	// finish arriving (armed once the first byte of a line exists;
+	// idle connections are never timed out). 0 disables. A timeout
+	// closes the connection.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each write to a connection (acks and
+	// subscriber result lines). 0 disables. A timed-out write closes
+	// the connection, so a stalled consumer can never hold the
+	// connection's write lock — and with it the feed path's acks —
+	// beyond this bound.
+	WriteTimeout time.Duration
 }
 
 // Server hosts named continuous queries over TCP.
@@ -151,6 +185,17 @@ type Server struct {
 	walDisabled atomic.Uint64
 	// autoCfg is the autopilot template AUTO ON instantiates.
 	autoCfg adaptive.Config
+	// admCfg is the per-query admission template newQuery instantiates
+	// (MaxConns stripped); adm is the server-wide controller owning the
+	// connection gate, nil when MaxConns is 0.
+	admCfg admission.Config
+	adm    *admission.Controller
+	// draining is the graceful-drain fence: once up, mutating commands
+	// draw "ERR BUSY draining" while reads (STATS, PLAN, LIST) keep
+	// answering. See Drain.
+	draining     atomic.Bool
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 
 	mu          sync.Mutex
 	queries     map[string]*query
@@ -178,19 +223,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SubscriberBuffer < 0 {
 		return nil, fmt.Errorf("server: negative subscriber buffer")
 	}
+	if cfg.ReadTimeout < 0 || cfg.WriteTimeout < 0 {
+		return nil, fmt.Errorf("server: negative timeout")
+	}
 	s := &Server{
-		template: cfg.Pipeline,
-		bufSize:  cfg.SubscriberBuffer,
-		autoCfg:  cfg.Adaptive,
-		queries:  make(map[string]*query),
-		conns:    make(map[net.Conn]struct{}),
+		template:     cfg.Pipeline,
+		bufSize:      cfg.SubscriberBuffer,
+		autoCfg:      cfg.Adaptive,
+		admCfg:       cfg.Admission,
+		readTimeout:  cfg.ReadTimeout,
+		writeTimeout: cfg.WriteTimeout,
+		queries:      make(map[string]*query),
+		conns:        make(map[net.Conn]struct{}),
+	}
+	if cfg.Admission.MaxConns > 0 {
+		ctrl, err := admission.New(admission.Config{MaxConns: cfg.Admission.MaxConns})
+		if err != nil {
+			return nil, err
+		}
+		s.adm = ctrl
+	} else if _, err := admission.New(cfg.Admission); err != nil {
+		return nil, err // surface a bad template before any query uses it
 	}
 	if cfg.Durable.Enabled() {
 		if err := s.recoverDurable(cfg); err != nil {
 			return nil, err
 		}
 	} else if cfg.Pipeline.Engine.Plan != nil {
-		q, err := newQuery(DefaultQuery, cfg.Pipeline, s.bufSize)
+		q, err := newQuery(DefaultQuery, cfg.Pipeline, s.bufSize, s.admCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -345,7 +405,7 @@ func (s *Server) queryDir(name string) string {
 func (s *Server) newDurableQuery(name string, cfg pipeline.Config) (*query, error) {
 	cfg.Durability = s.durable
 	cfg.Durability.Dir = s.queryDir(name)
-	return newQuery(name, cfg, s.bufSize)
+	return newQuery(name, cfg, s.bufSize, s.admCfg)
 }
 
 // validDurableName restricts durable query names to characters that
@@ -457,7 +517,7 @@ func (s *Server) create(name string, windowSize int, p *plan.Plan) error {
 		cfg.Durability = s.durable
 		cfg.Durability.Dir = s.queryDir(name)
 	}
-	q, err := newQuery(name, cfg, s.bufSize)
+	q, err := newQuery(name, cfg, s.bufSize, s.admCfg)
 	if err != nil {
 		return err
 	}
@@ -506,9 +566,22 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		// The connection cap is the outermost rung of the degradation
+		// ladder: refuse with a retriable BUSY line instead of letting
+		// goroutine and buffer costs grow unbounded. The rejected dial
+		// is counted (conn_rejected) and never enters the conn map.
+		if !s.adm.AcquireConn() {
+			go func(c net.Conn) {
+				c.SetWriteDeadline(time.Now().Add(time.Second))
+				fmt.Fprintf(c, "ERR BUSY too many connections\n")
+				c.Close()
+			}(conn)
+			continue
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			s.adm.ReleaseConn()
 			conn.Close()
 			return
 		}
@@ -520,10 +593,19 @@ func (s *Server) acceptLoop() {
 }
 
 // lockedWriter serializes whole-line writes from the command handler
-// and the subscription streamers onto one connection.
+// and the subscription streamers onto one connection. With a write
+// timeout configured, every operation that may touch the socket (an
+// explicit flush, or a buffered write spilling a full buffer) first
+// arms a write deadline — so a consumer that stops reading can hold
+// the write lock for at most the timeout before the write errors, the
+// connection is closed, and both the streamer and the command loop
+// unwind. Without the deadline a blocked subscriber would pin the
+// lock and stall the same connection's feed acks forever.
 type lockedWriter struct {
-	mu sync.Mutex
-	w  *bufio.Writer
+	mu      sync.Mutex
+	w       *bufio.Writer
+	conn    net.Conn
+	timeout time.Duration
 }
 
 // writeLine buffers one line without flushing: the command loop
@@ -534,14 +616,34 @@ type lockedWriter struct {
 func (lw *lockedWriter) writeLine(format string, args ...any) error {
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
+	lw.armDeadline()
 	_, err := fmt.Fprintf(lw.w, format+"\n", args...)
+	if err != nil {
+		lw.conn.Close()
+	}
 	return err
 }
 
 func (lw *lockedWriter) flush() error {
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
-	return lw.w.Flush()
+	lw.armDeadline()
+	err := lw.w.Flush()
+	if err != nil {
+		// A timed-out or failed write leaves the protocol stream torn
+		// mid-line; the connection is unusable either way. Closing it
+		// here (not just in the goroutine that noticed) unblocks the
+		// peer goroutine sharing the writer.
+		lw.conn.Close()
+	}
+	return err
+}
+
+// armDeadline sets the per-write deadline; callers hold lw.mu.
+func (lw *lockedWriter) armDeadline() {
+	if lw.timeout > 0 {
+		lw.conn.SetWriteDeadline(time.Now().Add(lw.timeout))
+	}
 }
 
 // maxLineBytes caps one protocol line. A FEEDB line of maximal batch
@@ -624,13 +726,14 @@ func (s *Server) splitQuery(rest string) (*query, string, error) {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.connWG.Done()
+	defer s.adm.ReleaseConn()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	lw := &lockedWriter{w: bufio.NewWriter(conn)}
+	lw := &lockedWriter{w: bufio.NewWriter(conn), conn: conn, timeout: s.writeTimeout}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var batch []workload.Event
 	// Per-connection subscriptions: at most one per query.
@@ -659,8 +762,23 @@ func (s *Server) handle(conn net.Conn) {
 			if err := lw.flush(); err != nil {
 				return
 			}
+			if s.readTimeout > 0 {
+				// The command read deadline arms only once a line has
+				// started arriving: Peek blocks without a deadline (an
+				// idle connection may sit forever), but after the first
+				// byte the rest of the line must land within the
+				// timeout — a half-open peer or a byte-trickling client
+				// cannot pin the handler goroutine.
+				if _, err := br.Peek(1); err != nil {
+					return
+				}
+				conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+			}
 		}
 		line, rerr := readLine(br)
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Time{})
+		}
 		if rerr == errLineTooLong {
 			if lw.writeLine("ERR line longer than %d bytes", maxLineBytes) != nil {
 				return
@@ -676,6 +794,19 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		var werr error
 		verb, rest, _ := strings.Cut(line, " ")
+		if s.draining.Load() {
+			// The drain fence: mutating commands are rejected retriably
+			// (the client's BUSY backoff will land on the replacement
+			// process after the rolling restart) while reads keep
+			// answering so operators can watch the drain progress.
+			switch strings.ToUpper(verb) {
+			case "FEED", "FEEDB", "MIGRATE", "CREATE", "DROP", "CHECKPOINT", "AUTO":
+				if respond(admission.Busy("draining")) != nil {
+					return
+				}
+				continue
+			}
+		}
 		switch strings.ToUpper(verb) {
 		case "FEED", "FEEDB", "MIGRATE", "CREATE", "DROP":
 			if !s.durable.Enabled() {
@@ -688,6 +819,9 @@ func (s *Server) handle(conn net.Conn) {
 			var ev workload.Event
 			if err == nil {
 				ev, err = parseFeedEvent(args)
+			}
+			if err == nil && !q.hasStream(ev.Stream) {
+				err = fmt.Errorf("stream %d not in query %q", ev.Stream, q.name)
 			}
 			if err != nil {
 				werr = respond(err)
@@ -713,7 +847,7 @@ func (s *Server) handle(conn net.Conn) {
 					break
 				}
 				ev2, err2 := parseFeedEvent(args2)
-				if err2 != nil {
+				if err2 != nil || !q.hasStream(ev2.Stream) {
 					break
 				}
 				br.Discard(consume)
@@ -732,7 +866,11 @@ func (s *Server) handle(conn net.Conn) {
 			if err == nil {
 				var evs []workload.Event
 				if evs, err = parseFeedBatch(args); err == nil {
-					err = q.runner.FeedBatch(evs)
+					if len(evs) > 0 && !q.hasStream(evs[0].Stream) {
+						err = fmt.Errorf("stream %d not in query %q", evs[0].Stream, q.name)
+					} else {
+						err = q.runner.FeedBatch(evs)
+					}
 				}
 			}
 			werr = respond(err)
@@ -834,13 +972,20 @@ func (s *Server) handle(conn net.Conn) {
 				break
 			}
 			spill, _ := q.runner.SpillStats()
-			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d batch_fill_p50=%d batch_flushes=%d state_bytes=%d spill_faults=%d auto_enabled=%d auto_proposals=%d auto_migrations=%d auto_rollbacks=%d last_migration_age_ms=%d",
+			adm := q.adm.Snapshot()
+			draining := 0
+			if s.draining.Load() {
+				draining = 1
+			}
+			werr = lw.writeLine("STATS input=%d output=%d transitions=%d completions=%d shed=%d feed_p50_ns=%d feed_p99_ns=%d episodes=%d subs_dropped=%d wal_appends=%d wal_fsync_p99_ns=%d recovered_events=%d batch_fill_p50=%d batch_flushes=%d state_bytes=%d spill_faults=%d auto_enabled=%d auto_proposals=%d auto_migrations=%d auto_rollbacks=%d last_migration_age_ms=%d admission_shed=%d deadline_shed=%d rejected=%d rejected_batches=%d inflight_bytes=%d draining=%d",
 				m.Input, m.Output, m.Transitions, m.Completions, q.runner.Shed(),
 				o.Feed.Quantile(0.50), o.Feed.Quantile(0.99), o.Completion.Count, q.dropped(),
 				ds.Appends, o.WALFsync.Quantile(0.99), ds.RecoveredEvents,
 				uint64(o.BatchFill.Quantile(0.50)), o.BatchFill.Count,
 				stateBytes, spill.Faults,
-				en, pr, mg, rb, age)
+				en, pr, mg, rb, age,
+				adm.ShedTuples, adm.DeadlineShedTuples, adm.RejectedTuples, adm.RejectedBatches,
+				adm.InflightBytes, draining)
 		case "PLAN":
 			q, _, err := s.splitQuery(rest)
 			if err != nil {

@@ -135,7 +135,10 @@ func TestServerMigrateAndPlan(t *testing.T) {
 func TestServerErrors(t *testing.T) {
 	s := newTestServer(t)
 	c := dial(t, s)
-	for _, bad := range []string{"FEED", "FEED x 1", "FEED 0 x", "FEED 99 1", "BOGUS"} {
+	// "FEED 12 7" is the fuzz-found remote crash: stream 12 parses (it
+	// is under MaxStreams) but is not in the 3-stream plan, and used to
+	// reach the engine's unknown-stream panic.
+	for _, bad := range []string{"FEED", "FEED x 1", "FEED 0 x", "FEED 99 1", "FEED 12 7", "FEEDB 12 7 8", "BOGUS"} {
 		if resp := c.cmd(t, bad); !strings.HasPrefix(resp, "ERR") {
 			t.Fatalf("%q -> %q, want ERR", bad, resp)
 		}

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sort"
 
+	"jisc/internal/admission"
 	"jisc/internal/durable"
 	"jisc/internal/obs"
 	"jisc/internal/statestore"
@@ -258,6 +259,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, q := range qs {
 		obs.WritePromCounterSeries(w, "jisc_batch_flush_total", obs.PromLabels(q.name), snaps[i].BatchFill.Count)
 	}
+
+	// Admission: the degradation-ladder counters per query (zero when
+	// admission is off — the nil controller snapshots to zeros), the
+	// in-flight byte gauge the budget bounds, and the server-wide
+	// connection gate.
+	admSnaps := make([]admission.Stats, len(qs))
+	for i, q := range qs {
+		admSnaps[i] = q.adm.Snapshot()
+	}
+	admCounters := []struct {
+		name string
+		get  func(admission.Stats) uint64
+	}{
+		{"jisc_admission_shed_tuples_total", func(a admission.Stats) uint64 { return a.ShedTuples }},
+		{"jisc_admission_deadline_shed_tuples_total", func(a admission.Stats) uint64 { return a.DeadlineShedTuples }},
+		{"jisc_admission_rejected_tuples_total", func(a admission.Stats) uint64 { return a.RejectedTuples }},
+		{"jisc_admission_rejected_batches_total", func(a admission.Stats) uint64 { return a.RejectedBatches }},
+	}
+	for _, c := range admCounters {
+		obs.WritePromType(w, c.name, "counter")
+		for i, q := range qs {
+			obs.WritePromCounterSeries(w, c.name, obs.PromLabels(q.name), c.get(admSnaps[i]))
+		}
+	}
+	obs.WritePromType(w, "jisc_admission_inflight_bytes", "gauge")
+	for i, q := range qs {
+		obs.WritePromGaugeSeries(w, "jisc_admission_inflight_bytes", obs.PromLabels(q.name), float64(admSnaps[i].InflightBytes))
+	}
+	connStats := s.adm.Snapshot()
+	obs.WritePromGauge(w, "jisc_admission_conns", "", float64(connStats.Conns))
+	obs.WritePromCounter(w, "jisc_admission_conns_rejected_total", "", connStats.ConnRejected)
+	draining := 0.0
+	if s.draining.Load() {
+		draining = 1
+	}
+	obs.WritePromGauge(w, "jisc_draining", "", draining)
 }
 
 // traceDump is the /trace response shape.

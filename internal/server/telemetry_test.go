@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"testing"
 
+	"jisc/internal/admission"
 	"jisc/internal/engine"
 	"jisc/internal/obs"
 	"jisc/internal/pipeline"
@@ -184,7 +185,7 @@ func TestStatsLatencyFields(t *testing.T) {
 func TestSubscriberDropCounted(t *testing.T) {
 	q, err := newQuery("q", pipeline.Config{Engine: engine.Config{
 		Plan: plan.MustLeftDeep(0, 1), WindowSize: 16,
-	}}, 2)
+	}}, 2, admission.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,7 +44,10 @@ func (m *Mismatch) String() string {
 // per-shard oracles; scenarios with a crash budget additionally run
 // crash/recovery equivalence over a fault-injection filesystem;
 // scenarios with UseSpill additionally run a budget-governed
-// spill-to-disk engine against the oracle.
+// spill-to-disk engine against the oracle; scenarios with UseOverload
+// additionally run the event log through an admission controller
+// under a logical clock, checked against an independent shed/reject
+// model and a drop-aware oracle.
 func Run(sc Scenario) *Mismatch {
 	if m := runQuartet(sc); m != nil {
 		return m
@@ -76,6 +79,11 @@ func Run(sc Scenario) *Mismatch {
 	}
 	if sc.UseSpill {
 		if m := runSpill(sc); m != nil {
+			return m
+		}
+	}
+	if sc.UseOverload {
+		if m := runOverload(sc); m != nil {
 			return m
 		}
 	}

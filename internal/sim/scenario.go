@@ -24,7 +24,15 @@
 // must still match the oracle. About a third (UseSpill) additionally
 // run a JISC engine under a tiny randomized state budget, so nearly
 // every bucket lives in spill segments and faults back on demand —
-// migrations included, the output must still match the oracle.
+// migrations included, the output must still match the oracle. And
+// about a quarter (UseOverload) run the whole event log through an
+// admission.Controller driven by a logical clock: chunks are shed by
+// the rate limiter and rejected by the in-flight budget exactly as a
+// live server would under overload, every decision is checked bit for
+// bit against an independent token-bucket/budget model, every offered
+// tuple must land in exactly one of admitted/shed/rejected, and the
+// engine's output must equal a drop-aware oracle fed only the
+// admitted events.
 //
 // On mismatch the harness shrinks (Shrink) and prints a one-line
 // repro: go test ./internal/sim -run 'TestSim$' -sim.seed=N.
@@ -107,6 +115,18 @@ type Scenario struct {
 	// through the spill/fault cycle.
 	UseSpill    bool
 	SpillBudget int64
+	// UseOverload additionally runs the scenario through an
+	// admission.Controller under a logical clock: a token bucket of
+	// OverloadRate tuples/sec (capacity OverloadBurst) sheds chunks, an
+	// OverloadBudget-byte in-flight budget rejects them, and the run is
+	// checked three ways — every admission decision against an
+	// independent arithmetic model (bit for bit), every offered tuple
+	// conserved across admitted/shed/rejected, and the engine's output
+	// against a drop-aware oracle fed exactly the admitted events.
+	UseOverload    bool
+	OverloadRate   float64
+	OverloadBurst  float64
+	OverloadBudget int64
 }
 
 // Generate derives a complete Scenario from one seed. Independent
@@ -198,6 +218,11 @@ func Generate(seed uint64) Scenario {
 		sc.UseSpill = true
 		sc.SpillBudget = 128 + srng.Int63n(4096)
 	}
+
+	orng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "overload")))
+	if orng.Intn(4) == 0 {
+		drawOverload(&sc, orng)
+	}
 	return sc
 }
 
@@ -265,8 +290,8 @@ func randPlan(rng *rand.Rand, streams int) string {
 // its seed instead.
 func Describe(sc Scenario) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d feedBatch=%v autopilot=%v spill=%v spillBudget=%d\n",
-		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip, sc.UseFeedBatch, sc.UseAutopilot, sc.UseSpill, sc.SpillBudget)
+	fmt.Fprintf(&b, "  seed=%d streams=%d domain=%d dist=%d windows=%v shards=%d batch=%d checkEvery=%d crashBudget=%d ckptAt=%d faultSkip=%d feedBatch=%v autopilot=%v spill=%v spillBudget=%d overload=%v rate=%.1f oburst=%.1f obudget=%d\n",
+		sc.Seed, sc.Streams, sc.Domain, sc.Dist, sc.Windows, sc.Shards, sc.BatchSize, sc.CheckEvery, sc.CrashBudget, sc.CheckpointAt, sc.FaultSkip, sc.UseFeedBatch, sc.UseAutopilot, sc.UseSpill, sc.SpillBudget, sc.UseOverload, sc.OverloadRate, sc.OverloadBurst, sc.OverloadBudget)
 	fmt.Fprintf(&b, "  plan %s\n", sc.InitPlan)
 	for _, m := range sc.Migrations {
 		fmt.Fprintf(&b, "  migrate@%d -> %s\n", m.At, m.Plan)

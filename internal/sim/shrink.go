@@ -57,6 +57,11 @@ func Shrink(sc Scenario, m *Mismatch, check func(Scenario) *Mismatch, budget int
 		c.UseSpill = false
 		try(c)
 	}
+	if best.UseOverload {
+		c := best
+		c.UseOverload = false
+		try(c)
+	}
 
 	for progress := true; progress && runs < budget; {
 		progress = false

@@ -76,7 +76,7 @@ func TestGenerateDeterministic(t *testing.T) {
 // dimensions the harness exists for: migrations, back-to-back
 // switches, multiple shards, crash points, zipf skew, bushy plans.
 func TestScenarioDiversity(t *testing.T) {
-	var migrations, backToBack, sharded, crashes, zipf, bushy, batched, batchedCrash, autopilot, spill int
+	var migrations, backToBack, sharded, crashes, zipf, bushy, batched, batchedCrash, autopilot, spill, overload int
 	const n = 300
 	for seed := uint64(1); seed <= n; seed++ {
 		sc := Generate(seed)
@@ -85,6 +85,9 @@ func TestScenarioDiversity(t *testing.T) {
 		}
 		if sc.UseSpill {
 			spill++
+		}
+		if sc.UseOverload {
+			overload++
 		}
 		if sc.UseFeedBatch {
 			batched++
@@ -121,7 +124,7 @@ func TestScenarioDiversity(t *testing.T) {
 		"migrations": migrations, "back-to-back": backToBack, "sharded": sharded,
 		"crashes": crashes, "zipf": zipf,
 		"batched": batched, "batched-crash": batchedCrash,
-		"autopilot": autopilot, "spill": spill,
+		"autopilot": autopilot, "spill": spill, "overload": overload,
 	} {
 		if got < n/20 {
 			t.Errorf("generator drew %q in only %d/%d scenarios", name, got, n)
@@ -223,6 +226,45 @@ func TestSimSpillEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSimOverloadEquivalence forces the admission dimension on for
+// every seed regardless of the generator's draw, so the overload run
+// — logical-clock admission decisions checked bit for bit against the
+// independent bucket/budget model, conservation, and the drop-aware
+// oracle — gets dense coverage in a short sweep. Across the forced
+// sweep both degradation rungs must actually fire: a dimension whose
+// limiter never sheds and whose budget never rejects covers nothing.
+func TestSimOverloadEquivalence(t *testing.T) {
+	var sheds, rejects uint64
+	var mu sync.Mutex
+	for seed := uint64(1); seed <= 120; seed++ {
+		seed := seed
+		sc := Generate(seed)
+		if !sc.UseOverload {
+			rng := rand.New(rand.NewSource(workload.DeriveSeed(seed, "overload-forced")))
+			drawOverload(&sc, rng)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m, s, r := runOverloadCount(sc)
+			if m != nil {
+				t.Fatalf("runOverload: %s", m)
+			}
+			mu.Lock()
+			sheds += s
+			rejects += r
+			mu.Unlock()
+		})
+	}
+	t.Cleanup(func() {
+		if sheds == 0 {
+			t.Errorf("the rate limiter shed nothing across 120 forced scenarios; the shed rung is inert")
+		}
+		if rejects == 0 {
+			t.Errorf("the in-flight budget rejected nothing across 120 forced scenarios; the reject rung is inert")
+		}
+	})
 }
 
 // TestSimCatchesInjectedFault is the harness's self-test (the
